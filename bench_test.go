@@ -1,0 +1,153 @@
+package dcc_test
+
+// One benchmark per table/figure of the paper's evaluation (§VI). Each
+// drives the corresponding experiment runner end to end at a reduced scale
+// (the full, paper-scale runs are available via cmd/dccsim -full). The
+// regenerated series themselves are checked by the tests in
+// internal/experiments; these benchmarks measure the cost of regeneration
+// and keep every figure's pipeline exercised under -bench.
+//
+// This file is an external test package (dcc_test) because the experiment
+// harness itself imports dcc.
+
+import (
+	"io"
+	"testing"
+
+	"dcc"
+	"dcc/internal/experiments"
+)
+
+// benchConfig is the reduced scale shared by the figure benchmarks.
+func benchConfig() experiments.Config {
+	return experiments.Config{Seed: 1, Runs: 1, Nodes: 150, MaxTau: 5, Quick: true}
+}
+
+// BenchmarkFig1Mobius regenerates Figure 1: the möbius-band network on
+// which the cycle-partition criterion succeeds and homology fails.
+func BenchmarkFig1Mobius(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure1(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.DCCCovered || res.HGCCovered {
+			b.Fatal("figure 1 verdicts wrong")
+		}
+	}
+}
+
+// BenchmarkFig2Deletion regenerates Figure 2: maximal-vertex-deletion
+// snapshots for τ = 3..6 on one random network.
+func BenchmarkFig2Deletion(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3ConfineSize regenerates Figure 3: coverage-set size vs
+// confine size, normalized by the τ=3 result.
+func BenchmarkFig3ConfineSize(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3(io.Discard, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Ratio[len(res.Ratio)-1] >= 1 {
+			b.Fatal("figure 3 shape wrong: no savings at max tau")
+		}
+	}
+}
+
+// BenchmarkFig4SavedNodes regenerates Figure 4: nodes saved by DCC over
+// the HGC baseline across sensing ratios and hole-diameter requirements.
+func BenchmarkFig4SavedNodes(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5TraceCDF regenerates Figure 5: the RSSI CDF of the
+// synthetic GreenOrbs-like trace.
+func BenchmarkFig5TraceCDF(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6TraceConfine regenerates Figure 6: left internal nodes vs
+// confine size on the trace topology.
+func BenchmarkFig6TraceConfine(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure6(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7TraceSnapshots regenerates Figure 7: DCC snapshots on the
+// trace topology for τ = 3..7.
+func BenchmarkFig7TraceSnapshots(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure7(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationEngines compares the three scheduling engines
+// (sequential, MIS-parallel, distributed) on identical networks.
+func BenchmarkAblationEngines(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationEngines(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRotation measures sleep-rotation scheduling across
+// epochs.
+func BenchmarkAblationRotation(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationRotation(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleDCCEndToEnd measures the full library path a user hits:
+// deploy → plan τ → schedule → verify.
+func BenchmarkScheduleDCCEndToEnd(b *testing.B) {
+	dep, err := dcc.Deploy(dcc.DeployOptions{Nodes: 150, Seed: 1, Gamma: 1.0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tau, err := dcc.PlanTau(dcc.Requirement{Gamma: dep.Gamma()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dep.ScheduleDCC(tau, dcc.ScheduleOptions{Seed: int64(i), Parallel: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Kept) == 0 {
+			b.Fatal("empty coverage set")
+		}
+	}
+}

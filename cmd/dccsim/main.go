@@ -1,0 +1,94 @@
+// Command dccsim regenerates the paper's evaluation figures from the
+// command line.
+//
+// Usage:
+//
+//	dccsim -fig all                # every figure at quick scale
+//	dccsim -fig 3 -full -runs 100  # paper-scale Figure 3 (slow)
+//	dccsim -fig 4 -nodes 800
+//
+// Each figure prints the same rows/series the paper reports; see
+// EXPERIMENTS.md for the expected shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dcc/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dccsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dccsim", flag.ContinueOnError)
+	var (
+		fig    = fs.String("fig", "all", "figure to regenerate: 1..7, 'engines', 'loss', 'rotation', comma-separated, or 'all'")
+		seed   = fs.Int64("seed", 1, "random seed")
+		runs   = fs.Int("runs", 0, "random repetitions (0 = preset default)")
+		nodes  = fs.Int("nodes", 0, "deployment size (0 = preset default)")
+		maxTau = fs.Int("maxtau", 0, "largest confine size for Figure 3 (0 = preset default)")
+		full   = fs.Bool("full", false, "paper-scale presets (1600 nodes; slow) instead of quick presets")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.Config{
+		Seed:   *seed,
+		Runs:   *runs,
+		Nodes:  *nodes,
+		MaxTau: *maxTau,
+		Quick:  !*full,
+	}
+
+	want := map[string]bool{}
+	all := *fig == "all"
+	if !all {
+		for _, f := range strings.Split(*fig, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+
+	type runner struct {
+		id string
+		fn func() error
+	}
+	w := os.Stdout
+	runners := []runner{
+		{"1", func() error { _, err := experiments.Figure1(w); return err }},
+		{"2", func() error { _, err := experiments.Figure2(w, cfg); return err }},
+		{"3", func() error { _, err := experiments.Figure3(w, cfg); return err }},
+		{"4", func() error { _, err := experiments.Figure4(w, cfg); return err }},
+		{"5", func() error { _, err := experiments.Figure5(w, cfg); return err }},
+		{"6", func() error { _, err := experiments.Figure6(w, cfg); return err }},
+		{"7", func() error { _, err := experiments.Figure7(w, cfg); return err }},
+		{"engines", func() error { _, err := experiments.AblationEngines(w, cfg); return err }},
+		{"loss", func() error { _, err := experiments.AblationLoss(w, cfg); return err }},
+		{"rotation", func() error { _, err := experiments.AblationRotation(w, cfg); return err }},
+		{"quasiudg", func() error { _, err := experiments.AblationQuasiUDG(w, cfg); return err }},
+	}
+	ran := 0
+	for _, r := range runners {
+		if !all && !want[r.id] {
+			continue
+		}
+		start := time.Now()
+		if err := r.fn(); err != nil {
+			return fmt.Errorf("figure %s: %w", r.id, err)
+		}
+		fmt.Fprintf(w, "  (figure %s: %v)\n\n", r.id, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no figure matched %q (want 1..7 or 'all')", *fig)
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestRunRejectsUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "42"}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunFigure1(t *testing.T) {
+	// Figure 1 is instant and exercises the full wiring.
+	if err := run([]string{"-fig", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}

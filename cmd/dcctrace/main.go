@@ -1,0 +1,113 @@
+// Command dcctrace drives the GreenOrbs-like packet-log pipeline.
+//
+// Usage:
+//
+//	dcctrace gen -nodes 270 -epochs 288 > trace.log   # synthesise a packet log
+//	dcctrace stats < trace.log                        # RSSI CDF + extraction stats
+//	dcctrace schedule -tau 5 < trace.log              # run DCC on the extracted graph
+//
+// The stats and schedule subcommands consume a packet log (synthetic here,
+// but the format mirrors what a real deployment's collection tier would
+// emit) and run the paper's accumulate → threshold → extract pipeline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dcc/internal/core"
+	"dcc/internal/stats"
+	"dcc/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dcctrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: dcctrace <gen|stats|schedule> [flags]")
+	}
+	switch args[0] {
+	case "gen":
+		return runGen(args[1:], stdout)
+	case "stats":
+		return runStats(stdin, stdout)
+	case "schedule":
+		return runSchedule(args[1:], stdin, stdout)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want gen, stats or schedule)", args[0])
+	}
+}
+
+func runGen(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	var (
+		nodes  = fs.Int("nodes", 270, "interior motes")
+		epochs = fs.Int("epochs", 288, "collection epochs")
+		seed   = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	_, err := trace.GenerateWithLog(trace.Config{
+		Seed:          *seed,
+		InteriorNodes: *nodes,
+		Epochs:        *epochs,
+	}, stdout)
+	return err
+}
+
+func runStats(stdin io.Reader, stdout io.Writer) error {
+	tr, err := trace.ParseLog(stdin)
+	if err != nil {
+		return err
+	}
+	values := tr.RSSIValues()
+	cdf := stats.NewCDF(values)
+	th := tr.ThresholdForFraction(0.8)
+	fmt.Fprintf(stdout, "undirected links: %d\n", len(values))
+	fmt.Fprintf(stdout, "RSSI quantiles: p5=%.1f p50=%.1f p95=%.1f dBm\n",
+		cdf.Quantile(0.05), cdf.Quantile(0.5), cdf.Quantile(0.95))
+	fmt.Fprintf(stdout, "80%% retention threshold: %.1f dBm\n", th)
+	g := tr.ExtractGraph(th)
+	fmt.Fprintf(stdout, "extracted graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+	return nil
+}
+
+func runSchedule(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("schedule", flag.ContinueOnError)
+	var (
+		tau  = fs.Int("tau", 4, "confine size")
+		seed = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, err := trace.ParseLog(stdin)
+	if err != nil {
+		return err
+	}
+	net, err := tr.Network(tr.ThresholdForFraction(0.8))
+	if err != nil {
+		return err
+	}
+	res, err := core.Schedule(net, core.Options{Tau: *tau, Seed: *seed, Mode: core.Parallel})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "τ=%d: kept %d of %d internal nodes (deleted %d) in %d tests\n",
+		*tau, len(res.KeptInternal), len(res.KeptInternal)+len(res.Deleted),
+		len(res.Deleted), res.Stats.Tests)
+	ok, err := core.VerifyConfine(res.Final, net.BoundaryCycles, *tau)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "cycle-partition criterion: %v\n", ok)
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenStatsSchedulePipeline(t *testing.T) {
+	var log strings.Builder
+	if err := run([]string{"gen", "-nodes", "60", "-epochs", "10", "-seed", "5"}, nil, &log); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(log.String(), "# greenorbs-sim v1") {
+		t.Fatal("log header missing")
+	}
+
+	var statsOut strings.Builder
+	if err := run([]string{"stats"}, strings.NewReader(log.String()), &statsOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(statsOut.String(), "undirected links") {
+		t.Fatalf("stats output unexpected:\n%s", statsOut.String())
+	}
+
+	var schedOut strings.Builder
+	if err := run([]string{"schedule", "-tau", "4"}, strings.NewReader(log.String()), &schedOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(schedOut.String(), "criterion") {
+		t.Fatalf("schedule output unexpected:\n%s", schedOut.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil, nil, nil); err == nil {
+		t.Fatal("missing subcommand accepted")
+	}
+	if err := run([]string{"bogus"}, nil, nil); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run([]string{"stats"}, strings.NewReader("garbage"), &strings.Builder{}); err == nil {
+		t.Fatal("garbage log accepted")
+	}
+}

@@ -1,0 +1,123 @@
+// Command dccviz renders networks and coverage schedules as SVG — the
+// visual counterpart of the paper's Figures 2 and 7.
+//
+// Usage:
+//
+//	dccviz -nodes 400 -taus 3,4,5,6 -o fig2      # random UDG deployment
+//	dccviz -trace -taus 3,5,7 -o fig7            # GreenOrbs-like trace
+//
+// One SVG file is written per τ (e.g. fig2-tau4.svg), plus the original
+// network (fig2-orig.svg).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dcc"
+	"dcc/internal/core"
+	"dcc/internal/geom"
+	"dcc/internal/graph"
+	"dcc/internal/trace"
+	"dcc/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dccviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dccviz", flag.ContinueOnError)
+	var (
+		nodes    = fs.Int("nodes", 300, "interior nodes of the random deployment")
+		seed     = fs.Int64("seed", 1, "random seed")
+		tausFlag = fs.String("taus", "3,4,5,6", "comma-separated confine sizes")
+		out      = fs.String("o", "network", "output file prefix")
+		useTrace = fs.Bool("trace", false, "use the GreenOrbs-like trace topology")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var taus []int
+	for _, s := range strings.Split(*tausFlag, ",") {
+		tau, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("bad tau %q: %w", s, err)
+		}
+		taus = append(taus, tau)
+	}
+
+	var (
+		net core.Network
+		pos map[graph.NodeID]geom.Point
+	)
+	if *useTrace {
+		tr := trace.Generate(trace.Config{Seed: *seed, InteriorNodes: *nodes})
+		n, err := tr.Network(tr.ThresholdForFraction(0.8))
+		if err != nil {
+			return err
+		}
+		net = n
+		pos = make(map[graph.NodeID]geom.Point, len(tr.Pts))
+		for i, p := range tr.Pts {
+			pos[graph.NodeID(i)] = p
+		}
+	} else {
+		dep, err := dcc.Deploy(dcc.DeployOptions{Nodes: *nodes, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		net = dep.Network()
+		pos = make(map[graph.NodeID]geom.Point, len(dep.Points))
+		for i, p := range dep.Points {
+			pos[graph.NodeID(i)] = p
+		}
+	}
+
+	render := func(name, title string, g *graph.Graph, deleted []graph.NodeID) error {
+		f, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		scene := viz.Scene{
+			G:          g,
+			Pos:        pos,
+			Boundary:   net.Boundary,
+			Deleted:    deleted,
+			DeletedPos: pos,
+			Title:      title,
+		}
+		if err := viz.Render(f, scene, viz.Style{}); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+
+	orig := fmt.Sprintf("%s-orig.svg", *out)
+	if err := render(orig, fmt.Sprintf("original network (n=%d)", net.G.NumNodes()), net.G, nil); err != nil {
+		return err
+	}
+	fmt.Println("wrote", orig)
+
+	for _, tau := range taus {
+		res, err := core.Schedule(net, core.Options{Tau: tau, Seed: *seed, Mode: core.Parallel})
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("%s-tau%d.svg", *out, tau)
+		title := fmt.Sprintf("τ=%d confine coverage: %d nodes kept, %d deleted",
+			tau, len(res.Kept), len(res.Deleted))
+		if err := render(name, title, res.Final, res.Deleted); err != nil {
+			return err
+		}
+		fmt.Println("wrote", name)
+	}
+	return nil
+}

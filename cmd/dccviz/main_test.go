@@ -1,0 +1,32 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRendersSVGs(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "net")
+	err := run([]string{"-nodes", "60", "-seed", "3", "-taus", "3", "-o", prefix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{prefix + "-orig.svg", prefix + "-tau3.svg"} {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("missing output %s: %v", name, err)
+		}
+		if !strings.HasPrefix(string(data), "<svg") {
+			t.Fatalf("%s is not an SVG", name)
+		}
+	}
+}
+
+func TestRunRejectsBadTaus(t *testing.T) {
+	if err := run([]string{"-taus", "three"}); err == nil {
+		t.Fatal("non-numeric tau accepted")
+	}
+}

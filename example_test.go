@@ -1,0 +1,59 @@
+package dcc_test
+
+import (
+	"fmt"
+	"log"
+
+	"dcc"
+)
+
+// ExamplePlanTau shows how the confine size is planned from a coverage
+// requirement (Proposition 1).
+func ExamplePlanTau() {
+	// Blanket coverage with strong sensing (γ = 1): six-hop cycles
+	// suffice.
+	tau, err := dcc.PlanTau(dcc.Requirement{Gamma: 1.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("blanket, γ=1.0:", tau)
+
+	// Weak sensing (γ = 2) with a hole-diameter budget of 3·Rc.
+	tau, err = dcc.PlanTau(dcc.Requirement{Gamma: 2.0, MaxHoleDiameter: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("partial, γ=2.0, Dmax=3Rc:", tau)
+
+	// Blanket coverage at γ = 2 is impossible for any connectivity-based
+	// method.
+	_, err = dcc.PlanTau(dcc.Requirement{Gamma: 2.0})
+	fmt.Println("blanket, γ=2.0:", err)
+
+	// Output:
+	// blanket, γ=1.0: 6
+	// partial, γ=2.0, Dmax=3Rc: 5
+	// blanket, γ=2.0: core: no feasible confine size for the requirement
+}
+
+// ExampleDeployment_ScheduleDCC is the minimal end-to-end flow: deploy,
+// schedule with connectivity only, verify the criterion.
+func ExampleDeployment_ScheduleDCC() {
+	dep, err := dcc.Deploy(dcc.DeployOptions{Nodes: 120, Seed: 5, Gamma: 1.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dep.ScheduleDCC(6, dcc.ScheduleOptions{Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok, err := dep.VerifyConfine(res.Final, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("some nodes deleted:", len(res.Deleted) > 0)
+	fmt.Println("criterion holds:", ok)
+	// Output:
+	// some nodes deleted: true
+	// criterion holds: true
+}

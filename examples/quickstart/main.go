@@ -1,0 +1,63 @@
+// Quickstart: deploy a random sensor network, pick the confine size for a
+// coverage requirement, schedule a sparse coverage set with only
+// connectivity information, and validate the result against ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"dcc"
+)
+
+func main() {
+	// 1. Deploy 400 sensors uniformly at random; the communication radius
+	//    is derived from the requested average degree (≈25, as in the
+	//    paper's simulations) and γ = Rc/Rs = 1 gives generous sensing.
+	dep, err := dcc.Deploy(dcc.DeployOptions{
+		Nodes:     400,
+		AvgDegree: 25,
+		Gamma:     1.0,
+		Seed:      42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployed %d nodes (%d boundary), %d links, Rc=%.2f Rs=%.2f\n",
+		dep.G.NumNodes(), len(dep.BoundaryNodes), dep.G.NumEdges(), dep.Rc, dep.Rs)
+
+	// 2. Pick the largest confine size that still guarantees full blanket
+	//    coverage (Proposition 1): γ=1 admits τ=6.
+	tau, err := dcc.PlanTau(dcc.Requirement{Gamma: dep.Gamma()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("requirement: blanket coverage at γ=%.2f → confine size τ=%d\n", dep.Gamma(), tau)
+
+	// 3. Schedule: maximal vertex deletion under the void-preserving
+	//    transformation, using only connectivity.
+	res, err := dep.ScheduleDCC(tau, dcc.ScheduleOptions{Seed: 42, Parallel: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("coverage set: %d of %d internal nodes kept (%d turned off)\n",
+		len(res.KeptInternal), len(res.KeptInternal)+len(res.Deleted), len(res.Deleted))
+	fmt.Printf("work: %d deletability tests in %d rounds\n", res.Stats.Tests, res.Stats.Rounds)
+
+	// 4. Verify the graph-theoretic criterion on the reduced network.
+	ok, err := dep.VerifyConfine(res.Final, tau)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cycle-partition criterion (τ=%d): %v\n", tau, ok)
+
+	// 5. Validate against geometric ground truth (the scheduler never saw
+	//    these coordinates).
+	rep := dep.CoverageReport(res.Final, 0)
+	fmt.Printf("ground truth: %.1f%% of the core area covered, max hole diameter %.3f\n",
+		100*rep.CoveredFraction, rep.MaxHoleDiameter())
+	if rep.MaxHoleDiameter() <= 2*math.Sqrt2*rep.Resolution {
+		fmt.Println("blanket coverage confirmed (no holes beyond sampling slack)")
+	}
+}

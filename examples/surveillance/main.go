@@ -1,0 +1,87 @@
+// Surveillance example: partial coverage with a guaranteed worst-case
+// quality of coverage (QoC), the paper's motivating scenario for
+// configurable granularity (§III-B/C).
+//
+// A target-tracking application tolerates coverage holes as long as a
+// moving target cannot travel far undetected: the worst-case hole diameter
+// bounds the longest straight-line escape. With weak sensors (γ = Rc/Rs
+// = 2, i.e. Rs = Rc/2) blanket coverage is unattainable by any
+// connectivity-only method, but confine coverage still yields a
+// determinate bound: τ-confine coverage caps hole diameters at (τ−2)·Rc.
+//
+// The example compares the triangle-granularity schedule (τ=3, all HGC can
+// do) against the τ planned from the application's actual QoC demand, and
+// validates both the bound and the energy savings.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dcc"
+)
+
+func main() {
+	const gamma = 2.0     // Rs = Rc/2: weak sensing
+	const maxEscape = 3.0 // QoC demand: holes no wider than 3·Rc
+	// Resample until the deployment is fully 3-partitionable, so that the
+	// triangle-granularity baseline is meaningful (the regime in which the
+	// homology baseline is defined; see EXPERIMENTS.md).
+	var dep *dcc.Deployment
+	for seed := int64(7); ; seed++ {
+		d, err := dcc.Deploy(dcc.DeployOptions{
+			Nodes:     400,
+			AvgDegree: 25,
+			Gamma:     gamma,
+			Seed:      seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if tau, err := d.AchievableTau(3); err == nil && tau == 3 {
+			dep = d
+			break
+		}
+	}
+	fmt.Printf("surveillance field: %d nodes, Rc=%.2f, Rs=%.2f (γ=%.1f)\n",
+		dep.G.NumNodes(), dep.Rc, dep.Rs, gamma)
+
+	// Blanket coverage is infeasible at γ=2 for any connectivity method.
+	if _, err := dcc.PlanTau(dcc.Requirement{Gamma: gamma}); err != nil {
+		fmt.Println("blanket coverage: infeasible at γ=2 (as expected)")
+	}
+
+	// The QoC demand admits τ = Dmax/Rc + 2.
+	tau, err := dcc.PlanTau(dcc.Requirement{Gamma: gamma, MaxHoleDiameter: maxEscape})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("QoC demand Dmax ≤ %.1f·Rc → τ=%d confine coverage\n", maxEscape, tau)
+
+	baseline, err := dep.ScheduleDCC(3, dcc.ScheduleOptions{Seed: 7, Parallel: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuned, err := dep.ScheduleDCC(tau, dcc.ScheduleOptions{Seed: 7, Parallel: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n1, n2 := len(baseline.KeptInternal), len(tuned.KeptInternal)
+	fmt.Printf("triangle granularity (τ=3): %d nodes awake\n", n1)
+	fmt.Printf("planned granularity (τ=%d): %d nodes awake\n", tau, n2)
+	if n1 > 0 {
+		fmt.Printf("nodes saved by exploiting the QoC budget: λ = %.1f%%\n",
+			100*float64(n1-n2)/float64(n1))
+	}
+
+	// Ground truth: the worst hole must respect the Proposition 1 bound.
+	rep := dep.CoverageReport(tuned.Final, 0)
+	bound := float64(tau-2) * dep.Rc
+	fmt.Printf("worst-case hole: measured %.3f, guaranteed bound %.3f (τ−2)·Rc\n",
+		rep.MaxHoleDiameter(), bound)
+	if rep.MaxHoleDiameter() <= bound+2*rep.Resolution {
+		fmt.Println("QoC guarantee holds")
+	} else {
+		fmt.Println("WARNING: QoC bound violated — please report a bug")
+	}
+}

@@ -1,0 +1,3 @@
+module dcc
+
+go 1.22

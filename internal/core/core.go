@@ -1,0 +1,483 @@
+// Package core implements the paper's primary contribution: the DCC
+// (distributed confine coverage) scheduling algorithm and the
+// cycle-partition coverage criterion it maintains.
+//
+// The package is purely graph-theoretic — it never sees coordinates. Its
+// input is a connectivity graph plus the boundary information the paper
+// assumes as given (§III-A): which nodes are boundary nodes, and the
+// boundary cycles (as vertex orders). Its output is a sparse coverage set:
+// a subgraph in which the boundary cycles remain τ-partitionable
+// (Propositions 2/3) and from which no further node can be removed by the
+// void-preserving transformation.
+//
+// Two scheduling engines are provided:
+//
+//   - sequential maximal vertex deletion (the reference oracle), and
+//   - round-based parallel deletion via m-hop maximal independent sets,
+//     the structure the distributed runtime (internal/dist) realises with
+//     real message passing.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"dcc/internal/bitvec"
+	"dcc/internal/cycles"
+	"dcc/internal/graph"
+	"dcc/internal/vpt"
+)
+
+// ErrNoFeasibleTau is returned by PlanTau when no confine size ≥ 3
+// satisfies the coverage requirement.
+var ErrNoFeasibleTau = errors.New("core: no feasible confine size for the requirement")
+
+// Network is the graph-theoretic input of the scheduler.
+type Network struct {
+	// G is the connectivity graph.
+	G *graph.Graph
+	// Boundary marks undeletable nodes (the periphery band, plus any
+	// virtual repair nodes).
+	Boundary map[graph.NodeID]bool
+	// BoundaryCycles holds the boundary cycles as vertex orders, outer
+	// cycle first. Every listed vertex must be in Boundary.
+	BoundaryCycles [][]graph.NodeID
+}
+
+// Validate checks structural consistency of the network description.
+func (n Network) Validate() error {
+	if n.G == nil {
+		return errors.New("core: nil graph")
+	}
+	if len(n.BoundaryCycles) == 0 {
+		return errors.New("core: no boundary cycles")
+	}
+	for ci, cyc := range n.BoundaryCycles {
+		if len(cyc) < 3 {
+			return fmt.Errorf("core: boundary cycle %d has %d vertices", ci, len(cyc))
+		}
+		for i := range cyc {
+			if !n.G.HasNode(cyc[i]) {
+				return fmt.Errorf("core: boundary cycle %d vertex %d not in graph", ci, cyc[i])
+			}
+			if !n.Boundary[cyc[i]] {
+				return fmt.Errorf("core: boundary cycle %d vertex %d not marked as boundary", ci, cyc[i])
+			}
+			if _, ok := n.G.EdgeIndex(cyc[i], cyc[(i+1)%len(cyc)]); !ok {
+				return fmt.Errorf("core: boundary cycle %d edge {%d,%d} missing",
+					ci, cyc[i], cyc[(i+1)%len(cyc)])
+			}
+		}
+	}
+	return nil
+}
+
+// InternalNodes returns the nodes of g not marked as boundary, sorted.
+func (n Network) InternalNodes() []graph.NodeID {
+	var out []graph.NodeID
+	for _, v := range n.G.Nodes() {
+		if !n.Boundary[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// BoundaryTarget returns the GF(2) sum of the boundary cycles as an
+// incidence vector over g's edge indices. g must contain every boundary
+// edge (boundary nodes are never deleted, so this holds across scheduling).
+func BoundaryTarget(g *graph.Graph, boundaryCycles [][]graph.NodeID) (bitvec.Vector, error) {
+	target := bitvec.New(g.NumEdges())
+	for ci, cyc := range boundaryCycles {
+		c, err := cycles.FromVertices(g, cyc)
+		if err != nil {
+			return bitvec.Vector{}, fmt.Errorf("boundary cycle %d: %w", ci, err)
+		}
+		target.Xor(c.Vector(g.NumEdges()))
+	}
+	return target, nil
+}
+
+// VerifyConfine checks the global cycle-partition coverage criterion
+// (Propositions 2 and 3): the GF(2) sum of the boundary cycles must be
+// expressible as a sum of cycles of length ≤ tau in g.
+func VerifyConfine(g *graph.Graph, boundaryCycles [][]graph.NodeID, tau int) (bool, error) {
+	target, err := BoundaryTarget(g, boundaryCycles)
+	if err != nil {
+		return false, err
+	}
+	return cycles.Partitionable(g, target, tau), nil
+}
+
+// ErrNotAchievable is returned by AchievableTau when no confine size within
+// the bound makes the boundary partitionable.
+var ErrNotAchievable = errors.New("core: boundary not partitionable within the tau bound")
+
+// AchievableTau returns the smallest confine size τ ∈ [3, maxTau] for which
+// the boundary cycles are τ-partitionable in the network's graph. Scheduling
+// with τ below this value preserves nothing (Theorem 5's precondition
+// fails); scheduling at or above it is guaranteed to keep the criterion.
+func AchievableTau(net Network, maxTau int) (int, error) {
+	if err := net.Validate(); err != nil {
+		return 0, err
+	}
+	target, err := BoundaryTarget(net.G, net.BoundaryCycles)
+	if err != nil {
+		return 0, err
+	}
+	for tau := 3; tau <= maxTau; tau++ {
+		if cycles.Partitionable(net.G, target, tau) {
+			return tau, nil
+		}
+	}
+	return 0, ErrNotAchievable
+}
+
+// Mode selects the scheduling engine.
+type Mode int
+
+const (
+	// Sequential deletes one locally-deletable node at a time (reference
+	// oracle for the distributed algorithm).
+	Sequential Mode = iota + 1
+	// Parallel deletes an m-hop maximal independent set of candidates per
+	// round — the structure of the paper's distributed algorithm.
+	Parallel
+)
+
+// Options configures scheduling.
+type Options struct {
+	// Tau is the confine size (≥ 3).
+	Tau int
+	// Seed drives all randomized choices (node order, MIS priorities).
+	Seed int64
+	// Mode selects the engine; default Sequential.
+	Mode Mode
+	// Workers bounds the concurrency of deletability tests in Parallel
+	// mode; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Stats records the work performed by a scheduling run.
+type Stats struct {
+	// Rounds is the number of parallel rounds (1 for sequential runs).
+	Rounds int
+	// Tests counts void-preserving-transformation evaluations.
+	Tests int
+	// Deleted counts removed nodes.
+	Deleted int
+}
+
+// Result is the output of a scheduling run.
+type Result struct {
+	// Final is the reduced graph: the coverage set plus boundary nodes.
+	Final *graph.Graph
+	// Kept lists the remaining nodes (boundary and internal), sorted.
+	Kept []graph.NodeID
+	// KeptInternal lists the remaining internal (non-boundary) nodes.
+	KeptInternal []graph.NodeID
+	// Deleted lists the removed nodes, in deletion order.
+	Deleted []graph.NodeID
+	// Stats summarises the run.
+	Stats Stats
+}
+
+// Schedule runs maximal vertex deletion under the τ-void-preserving
+// transformation and returns the resulting sparse coverage set.
+func Schedule(net Network, opts Options) (Result, error) {
+	if err := net.Validate(); err != nil {
+		return Result{}, err
+	}
+	if opts.Tau < 3 {
+		return Result{}, fmt.Errorf("core: tau %d < 3", opts.Tau)
+	}
+	if opts.Mode == 0 {
+		opts.Mode = Sequential
+	}
+	switch opts.Mode {
+	case Sequential:
+		return scheduleSequential(net, opts)
+	case Parallel:
+		return scheduleParallel(net, opts)
+	default:
+		return Result{}, fmt.Errorf("core: unknown mode %d", opts.Mode)
+	}
+}
+
+func finishResult(net Network, g *graph.Graph, deleted []graph.NodeID, stats Stats) Result {
+	kept := g.Nodes()
+	var internal []graph.NodeID
+	for _, v := range kept {
+		if !net.Boundary[v] {
+			internal = append(internal, v)
+		}
+	}
+	stats.Deleted = len(deleted)
+	return Result{
+		Final:        g,
+		Kept:         kept,
+		KeptInternal: internal,
+		Deleted:      deleted,
+		Stats:        stats,
+	}
+}
+
+func scheduleSequential(net Network, opts Options) (Result, error) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	g := net.G
+	k := vpt.NeighborhoodRadius(opts.Tau)
+
+	queue := net.InternalNodes()
+	rng.Shuffle(len(queue), func(i, j int) { queue[i], queue[j] = queue[j], queue[i] })
+	inQueue := make(map[graph.NodeID]bool, len(queue))
+	for _, v := range queue {
+		inQueue[v] = true
+	}
+
+	var deleted []graph.NodeID
+	stats := Stats{Rounds: 1}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		inQueue[v] = false
+		if !g.HasNode(v) {
+			continue
+		}
+		stats.Tests++
+		if !vpt.VertexDeletable(g, v, opts.Tau) {
+			continue
+		}
+		// Nodes whose Γ^k contained v must be retested after the deletion.
+		affected := g.KHopNeighbors(v, k)
+		g = g.DeleteVertices([]graph.NodeID{v})
+		deleted = append(deleted, v)
+		for _, w := range affected {
+			if !net.Boundary[w] && g.HasNode(w) && !inQueue[w] {
+				inQueue[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return finishResult(net, g, deleted, stats), nil
+}
+
+func scheduleParallel(net Network, opts Options) (Result, error) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	g := net.G
+	k := vpt.NeighborhoodRadius(opts.Tau)
+	m := vpt.IndependenceRadius(opts.Tau)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// dirty marks nodes whose neighbourhood changed since their last test;
+	// everything starts dirty. Clean nodes previously tested not-deletable
+	// stay not-deletable until a neighbour within k hops disappears.
+	dirty := make(map[graph.NodeID]bool)
+	for _, v := range net.InternalNodes() {
+		dirty[v] = true
+	}
+	deletable := make(map[graph.NodeID]bool)
+
+	var deleted []graph.NodeID
+	var stats Stats
+	for {
+		// Retest dirty internal nodes concurrently.
+		var toTest []graph.NodeID
+		for v := range dirty {
+			if g.HasNode(v) {
+				toTest = append(toTest, v)
+			}
+		}
+		sort.Slice(toTest, func(i, j int) bool { return toTest[i] < toTest[j] })
+		results := make([]bool, len(toTest))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i, v := range toTest {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, v graph.NodeID) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				results[i] = vpt.VertexDeletable(g, v, opts.Tau)
+			}(i, v)
+		}
+		wg.Wait()
+		stats.Tests += len(toTest)
+		for i, v := range toTest {
+			deletable[v] = results[i]
+			delete(dirty, v)
+		}
+
+		var candidates []graph.NodeID
+		for _, v := range g.Nodes() {
+			if deletable[v] && !net.Boundary[v] {
+				candidates = append(candidates, v)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		stats.Rounds++
+
+		// Random-priority greedy m-hop MIS: process candidates in a random
+		// order; select one if no already-selected node is within m−1 hops
+		// (pairwise distance ≥ m ⇒ independent tests, §V-B).
+		rng.Shuffle(len(candidates), func(i, j int) {
+			candidates[i], candidates[j] = candidates[j], candidates[i]
+		})
+		blocked := make(map[graph.NodeID]bool)
+		var selected []graph.NodeID
+		for _, v := range candidates {
+			if blocked[v] {
+				continue
+			}
+			selected = append(selected, v)
+			blocked[v] = true
+			for _, w := range g.KHopNeighbors(v, m-1) {
+				blocked[w] = true
+			}
+		}
+
+		// Delete the independent set simultaneously; dirty every survivor
+		// within k hops of a deleted node.
+		affected := make(map[graph.NodeID]bool)
+		for _, v := range selected {
+			for _, w := range g.KHopNeighbors(v, k) {
+				affected[w] = true
+			}
+		}
+		g = g.DeleteVertices(selected)
+		deleted = append(deleted, selected...)
+		for _, v := range selected {
+			delete(deletable, v)
+			delete(affected, v)
+		}
+		for w := range affected {
+			if !net.Boundary[w] && g.HasNode(w) {
+				dirty[w] = true
+			}
+		}
+	}
+	return finishResult(net, g, deleted, stats), nil
+}
+
+// VerifyNonRedundant checks Definition 6 on a scheduling result: removing
+// any single kept internal node must break τ-partitionability of the
+// boundary. (Single-node checks suffice because the criterion is monotone
+// in the node set.) It returns the first violating node if any. This is an
+// exhaustive global check — quadratic in practice — intended for tests and
+// small networks.
+func VerifyNonRedundant(net Network, final *graph.Graph, tau int) (bool, graph.NodeID, error) {
+	for _, v := range final.Nodes() {
+		if net.Boundary[v] {
+			continue
+		}
+		reduced := final.DeleteVertices([]graph.NodeID{v})
+		ok, err := VerifyConfine(reduced, net.BoundaryCycles, tau)
+		if err != nil {
+			return false, v, err
+		}
+		if ok {
+			return false, v, nil
+		}
+	}
+	return true, 0, nil
+}
+
+// RepairBoundaries implements the paper's multi-boundary preprocessing
+// (§V-B): all boundary cycles except the first (the outer one) are filled
+// with a cone — a fresh virtual node adjacent to every vertex of that
+// cycle. Virtual nodes are marked as boundary (undeletable). The returned
+// network shares no mutable state with the input.
+func RepairBoundaries(net Network) (Network, []graph.NodeID, error) {
+	if err := net.Validate(); err != nil {
+		return Network{}, nil, err
+	}
+	if len(net.BoundaryCycles) <= 1 {
+		return net, nil, nil
+	}
+	b := graph.NewBuilder()
+	for _, v := range net.G.Nodes() {
+		b.AddNode(v)
+	}
+	for _, e := range net.G.Edges() {
+		b.AddEdge(e.U, e.V)
+	}
+	nextID := graph.NodeID(0)
+	for _, v := range net.G.Nodes() {
+		if v >= nextID {
+			nextID = v + 1
+		}
+	}
+	newBoundary := make(map[graph.NodeID]bool, len(net.Boundary))
+	for v, ok := range net.Boundary {
+		newBoundary[v] = ok
+	}
+	var virtual []graph.NodeID
+	for _, cyc := range net.BoundaryCycles[1:] {
+		apex := nextID
+		nextID++
+		virtual = append(virtual, apex)
+		newBoundary[apex] = true
+		for _, v := range cyc {
+			b.AddEdge(apex, v)
+		}
+	}
+	out := Network{
+		G:              b.MustBuild(),
+		Boundary:       newBoundary,
+		BoundaryCycles: net.BoundaryCycles,
+	}
+	return out, virtual, nil
+}
+
+// Requirement expresses a coverage demand following Proposition 1.
+type Requirement struct {
+	// Gamma is the sensing ratio γ = Rc/Rs.
+	Gamma float64
+	// MaxHoleDiameter is the admissible worst-case hole diameter in units
+	// of Rc; 0 demands full blanket coverage.
+	MaxHoleDiameter float64
+}
+
+// PlanTau returns the largest confine size τ ≥ 3 that satisfies the
+// requirement under Proposition 1:
+//
+//   - blanket coverage (Dmax = 0) holds when γ ≤ 2·sin(π/τ);
+//   - otherwise partial coverage guarantees Dmax ≤ (τ−2)·Rc.
+//
+// Larger τ admits sparser coverage sets, so the maximum feasible τ is the
+// efficient choice.
+func PlanTau(req Requirement) (int, error) {
+	if req.Gamma <= 0 {
+		return 0, fmt.Errorf("core: non-positive gamma %v", req.Gamma)
+	}
+	best := 0
+	// Blanket branch: γ ≤ 2 sin(π/τ) ⇔ τ ≤ π / asin(γ/2) (for γ ≤ 2). The
+	// epsilon absorbs floating-point error at exact thresholds (γ=1 ⇒ τ=6).
+	if req.Gamma <= 2 {
+		tauBlanket := int(math.Floor(math.Pi/math.Asin(req.Gamma/2) + 1e-9))
+		if tauBlanket >= 3 {
+			best = tauBlanket
+		}
+	}
+	// Partial branch: (τ−2) ≤ Dmax/Rc. Only meaningful when a hole is
+	// admissible at all, and only under the paper's γ ≤ 2 regime.
+	if req.MaxHoleDiameter > 0 && req.Gamma <= 2 {
+		tauPartial := int(math.Floor(req.MaxHoleDiameter)) + 2
+		if tauPartial >= 3 && tauPartial > best {
+			best = tauPartial
+		}
+	}
+	if best < 3 {
+		return 0, ErrNoFeasibleTau
+	}
+	return best, nil
+}

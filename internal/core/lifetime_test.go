@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dcc/internal/geom"
+	"dcc/internal/graph"
+	"dcc/internal/vpt"
+)
+
+func TestThinEdgesPreservesCriterion(t *testing.T) {
+	net := denseNet(t, 90, 7, 7, 1.9)
+	tau := 4
+	res, err := Schedule(net, Options{Tau: tau, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thinned, removed, err := ThinEdges(net, res.Final, tau, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) == 0 {
+		t.Skip("no removable edges on this instance")
+	}
+	if thinned.NumEdges()+len(removed) != res.Final.NumEdges() {
+		t.Fatal("edge accounting wrong")
+	}
+	ok, err := VerifyConfine(thinned, net.BoundaryCycles, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("edge thinning broke the criterion")
+	}
+	// Boundary edges must survive.
+	cyc := net.BoundaryCycles[0]
+	for i := range cyc {
+		if !thinned.HasEdge(cyc[i], cyc[(i+1)%len(cyc)]) {
+			t.Fatal("boundary cycle edge removed")
+		}
+	}
+	// No node may be dropped by edge thinning.
+	if thinned.NumNodes() != res.Final.NumNodes() {
+		t.Fatal("edge thinning dropped nodes")
+	}
+}
+
+func TestThinEdgesRejectsBadTau(t *testing.T) {
+	net := gridNet(graph.TriangulatedGrid(3, 3), 3, 3)
+	if _, _, err := ThinEdges(net, net.G, 2, 1); err == nil {
+		t.Fatal("tau=2 accepted")
+	}
+}
+
+func TestRotateCoverageEveryEpoch(t *testing.T) {
+	net := denseNet(t, 91, 7, 7, 1.9)
+	tau := 4
+	epochs, err := Rotate(net, Options{Tau: tau, Seed: 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != 4 {
+		t.Fatalf("got %d epochs, want 4", len(epochs))
+	}
+	for _, ep := range epochs {
+		ok, err := VerifyConfine(ep.Result.Final, net.BoundaryCycles, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("epoch %d violates the criterion", ep.Epoch)
+		}
+	}
+}
+
+func TestRotateSpreadsDuty(t *testing.T) {
+	// With rotation, duty should be spread over more distinct nodes than a
+	// single epoch uses.
+	net := denseNet(t, 92, 8, 8, 1.9)
+	tau := 5
+	epochs, err := Rotate(net, Options{Tau: tau, Seed: 4}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	everActive := make(map[graph.NodeID]bool)
+	perEpoch := 0
+	for _, ep := range epochs {
+		n := 0
+		for _, v := range ep.Result.KeptInternal {
+			everActive[v] = true
+			n++
+		}
+		if perEpoch == 0 {
+			perEpoch = n
+		}
+	}
+	if perEpoch == 0 {
+		t.Skip("degenerate: empty coverage sets")
+	}
+	if len(everActive) <= perEpoch {
+		t.Fatalf("rotation reused the same %d nodes every epoch", perEpoch)
+	}
+}
+
+func TestRotateRejectsBadInput(t *testing.T) {
+	net := gridNet(graph.TriangulatedGrid(3, 3), 3, 3)
+	if _, err := Rotate(net, Options{Tau: 4, Seed: 1}, 0); err == nil {
+		t.Fatal("0 epochs accepted")
+	}
+	if _, err := Rotate(Network{}, Options{Tau: 4}, 1); err == nil {
+		t.Fatal("invalid network accepted")
+	}
+	if _, err := Rotate(net, Options{Tau: 2}, 1); err == nil {
+		t.Fatal("tau=2 accepted")
+	}
+}
+
+// TestThinEdgesThenLocalMaximality: after thinning, no further edge is
+// deletable.
+func TestThinEdgesLocallyMaximal(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	rect := geom.Rect{MaxX: 6, MaxY: 6}
+	pts := geom.PerturbedGrid(rng, 6, 6, rect, 0.15)
+	g := geom.UDG(pts, 1.9)
+	net := gridNet(g, 6, 6)
+	tau := 4
+	thinned, _, err := ThinEdges(net, g, tau, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range thinned.Edges() {
+		if net.Boundary[e.U] && net.Boundary[e.V] {
+			continue
+		}
+		if vpt.EdgeDeletable(thinned, e.U, e.V, tau) {
+			t.Fatalf("edge %v still deletable after thinning", e)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package cover measures ground-truth sensing coverage of an embedded
+// network: which parts of the target area are covered by sensing disks,
+// what coverage holes remain, and how large they are.
+//
+// This is the oracle against which the paper's location-free guarantees
+// are validated (Proposition 1): after scheduling, every hole's
+// circumscribing-circle diameter must respect the τ-confine bound. The
+// coverage algorithms never see this package's output; it exists for
+// evaluation only.
+package cover
+
+import (
+	"math"
+
+	"dcc/internal/geom"
+)
+
+// Hole is a maximal 4-connected uncovered region of the sampling grid.
+type Hole struct {
+	// Cells are the centres of the uncovered sample cells.
+	Cells []geom.Point
+	// Diameter is the diameter of the minimum circle circumscribing the
+	// uncovered cell centres — the paper's hole-diameter metric.
+	Diameter float64
+	// Area is the approximate hole area (cell count × cell area).
+	Area float64
+}
+
+// Report summarises the coverage of a target area.
+type Report struct {
+	// Holes lists all uncovered regions, largest diameter first.
+	Holes []Hole
+	// CoveredFraction is the fraction of sample cells covered.
+	CoveredFraction float64
+	// Resolution is the sampling cell size used.
+	Resolution float64
+}
+
+// FullyCovered reports whether no hole was found at the sampling
+// resolution.
+func (r Report) FullyCovered() bool { return len(r.Holes) == 0 }
+
+// MaxHoleDiameter returns the largest hole diameter (0 when fully covered).
+func (r Report) MaxHoleDiameter() float64 {
+	if len(r.Holes) == 0 {
+		return 0
+	}
+	return r.Holes[0].Diameter
+}
+
+// Analyze samples the target rectangle on a grid with the given cell size
+// and reports the uncovered regions given sensing disks of radius rs
+// centred at the active points.
+//
+// The sampling introduces a discretisation error of at most one cell
+// diagonal in hole diameters; callers comparing against analytic bounds
+// should allow that slack.
+func Analyze(active []geom.Point, rs float64, target geom.Rect, resolution float64) Report {
+	if resolution <= 0 {
+		panic("cover: non-positive resolution")
+	}
+	cols := int(math.Ceil(target.Width() / resolution))
+	rows := int(math.Ceil(target.Height() / resolution))
+	if cols <= 0 || rows <= 0 {
+		return Report{Resolution: resolution, CoveredFraction: 1}
+	}
+
+	// Spatial hash of active sensors at cell size rs for O(1) disk queries.
+	type cellKey struct{ x, y int }
+	idx := make(map[cellKey][]geom.Point)
+	if rs > 0 {
+		for _, p := range active {
+			k := cellKey{x: int(math.Floor(p.X / rs)), y: int(math.Floor(p.Y / rs))}
+			idx[k] = append(idx[k], p)
+		}
+	}
+	coveredAt := func(p geom.Point) bool {
+		if rs <= 0 {
+			return false
+		}
+		cx, cy := int(math.Floor(p.X/rs)), int(math.Floor(p.Y/rs))
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, q := range idx[cellKey{x: cx + dx, y: cy + dy}] {
+					if geom.Dist(p, q) <= rs {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+
+	center := func(r, c int) geom.Point {
+		return geom.Point{
+			X: target.MinX + (float64(c)+0.5)*resolution,
+			Y: target.MinY + (float64(r)+0.5)*resolution,
+		}
+	}
+
+	covered := make([]bool, rows*cols)
+	nCovered := 0
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if coveredAt(center(r, c)) {
+				covered[r*cols+c] = true
+				nCovered++
+			}
+		}
+	}
+
+	// Flood-fill uncovered cells into 4-connected holes.
+	seen := make([]bool, rows*cols)
+	var holes []Hole
+	for start := 0; start < rows*cols; start++ {
+		if covered[start] || seen[start] {
+			continue
+		}
+		var cells []geom.Point
+		stack := []int{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			r, c := cur/cols, cur%cols
+			cells = append(cells, center(r, c))
+			for _, nb := range [4][2]int{{r - 1, c}, {r + 1, c}, {r, c - 1}, {r, c + 1}} {
+				nr, nc := nb[0], nb[1]
+				if nr < 0 || nr >= rows || nc < 0 || nc >= cols {
+					continue
+				}
+				ni := nr*cols + nc
+				if !covered[ni] && !seen[ni] {
+					seen[ni] = true
+					stack = append(stack, ni)
+				}
+			}
+		}
+		mec := geom.MinEnclosingCircle(cells)
+		holes = append(holes, Hole{
+			Cells:    cells,
+			Diameter: 2 * mec.R,
+			Area:     float64(len(cells)) * resolution * resolution,
+		})
+	}
+	// Largest first.
+	for i := 0; i < len(holes); i++ {
+		for j := i + 1; j < len(holes); j++ {
+			if holes[j].Diameter > holes[i].Diameter {
+				holes[i], holes[j] = holes[j], holes[i]
+			}
+		}
+	}
+	return Report{
+		Holes:           holes,
+		CoveredFraction: float64(nCovered) / float64(rows*cols),
+		Resolution:      resolution,
+	}
+}

@@ -1,0 +1,445 @@
+// Package dist realises the paper's distributed coverage algorithm (§V-B)
+// with explicit message passing over a simulated radio network.
+//
+// Each node runs the same local protocol:
+//
+//  1. Neighbourhood discovery — k rounds of adjacency gossip give every
+//     node the connectivity among its k-hop neighbours (k = ⌈τ/2⌉).
+//  2. Redundancy testing — every internal node evaluates the void-
+//     preserving transformation on its local view.
+//  3. MIS election — deletable nodes draw random priorities and flood them
+//     m−1 hops (m = ⌈τ/2⌉+1); a candidate that hears no higher priority
+//     wins, which makes winners pairwise ≥ m hops apart, exactly the
+//     independence radius at which simultaneous deletions are safe.
+//  4. Deletion — winners announce a DELETE that floods k hops so that
+//     affected nodes update their views, and the process iterates until no
+//     node anywhere is deletable.
+//
+// The runtime is a deterministic synchronous-round simulator with optional
+// per-link message loss and fail-stop crash injection. Determinism comes
+// from sorted iteration plus per-(seed,node,round) hashed priorities, so a
+// run is reproducible from its Config alone.
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"dcc/internal/core"
+	"dcc/internal/graph"
+	"dcc/internal/vpt"
+)
+
+// Config parameterises a distributed run.
+type Config struct {
+	// Tau is the confine size (≥ 3).
+	Tau int
+	// Seed drives priorities and loss decisions.
+	Seed int64
+	// Loss is the independent per-link message-loss probability in [0,1).
+	// With loss, liveness is preserved but the safety guarantee of
+	// pairwise-independent deletions can be violated (documented
+	// limitation; real deployments would acknowledge candidate floods).
+	Loss float64
+	// MaxSuperRounds bounds the deletion iterations (0 = number of nodes).
+	MaxSuperRounds int
+	// CrashNodes fail silently (fail-stop) at the start of super-round
+	// CrashAtSuperRound (1-based; 0 disables).
+	CrashNodes        []graph.NodeID
+	CrashAtSuperRound int
+}
+
+// Stats counts the communication work of a run.
+type Stats struct {
+	// CommRounds is the number of synchronous radio rounds.
+	CommRounds int
+	// Broadcasts counts radio frames sent (one frame reaches all live
+	// neighbours, modulo loss).
+	Broadcasts int
+	// Delivered counts frame receptions.
+	Delivered int
+	// BytesSent counts wire-format frame bytes transmitted.
+	BytesSent int
+	// BytesDelivered counts wire-format frame bytes received.
+	BytesDelivered int
+	// SuperRounds counts deletion iterations.
+	SuperRounds int
+	// Tests counts local deletability evaluations.
+	Tests int
+}
+
+// Result is the outcome of a distributed run.
+type Result struct {
+	// Final is the surviving connectivity graph (crashed nodes excluded).
+	Final *graph.Graph
+	// Kept lists surviving nodes; KeptInternal the non-boundary ones.
+	Kept, KeptInternal []graph.NodeID
+	// Deleted lists nodes removed by the protocol, in deletion order.
+	Deleted []graph.NodeID
+	// Crashed lists nodes removed by fault injection.
+	Crashed []graph.NodeID
+	// Stats summarises communication and computation.
+	Stats Stats
+}
+
+// Run executes the distributed confine-coverage protocol.
+func Run(net core.Network, cfg Config) (Result, error) {
+	if err := net.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Tau < 3 {
+		return Result{}, fmt.Errorf("dist: tau %d < 3", cfg.Tau)
+	}
+	if cfg.Loss < 0 || cfg.Loss >= 1 {
+		return Result{}, fmt.Errorf("dist: loss %v outside [0,1)", cfg.Loss)
+	}
+	r := newRuntime(net, cfg)
+	r.discover()
+	r.mainLoop()
+	return r.result(), nil
+}
+
+type runtime struct {
+	cfg   Config
+	net   core.Network
+	k, m  int
+	cur   *graph.Graph // ground-truth surviving topology
+	views map[graph.NodeID]*localView
+	// cached deletability per node; valid while the node's view is
+	// unchanged.
+	deletable map[graph.NodeID]bool
+	deleted   []graph.NodeID
+	crashed   map[graph.NodeID]bool
+	crashList []graph.NodeID
+	rng       *splitMix
+	stats     Stats
+}
+
+func newRuntime(net core.Network, cfg Config) *runtime {
+	r := &runtime{
+		cfg:       cfg,
+		net:       net,
+		k:         vpt.NeighborhoodRadius(cfg.Tau),
+		m:         vpt.IndependenceRadius(cfg.Tau),
+		cur:       net.G,
+		views:     make(map[graph.NodeID]*localView, net.G.NumNodes()),
+		deletable: make(map[graph.NodeID]bool),
+		crashed:   make(map[graph.NodeID]bool),
+		rng:       newSplitMix(uint64(cfg.Seed) ^ 0x9e3779b97f4a7c15),
+	}
+	for _, v := range net.G.Nodes() {
+		r.views[v] = newLocalView(v, net.G.Neighbors(v))
+	}
+	return r
+}
+
+// liveNodes returns the surviving, non-crashed nodes in sorted order.
+func (r *runtime) liveNodes() []graph.NodeID {
+	nodes := r.cur.Nodes()
+	out := nodes[:0]
+	for _, v := range nodes {
+		if !r.crashed[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// dropLink reports whether a particular delivery is lost.
+func (r *runtime) dropLink() bool {
+	return r.cfg.Loss > 0 && r.rng.float64() < r.cfg.Loss
+}
+
+// broadcastRound delivers one synchronous round: every sender with a
+// pending frame broadcasts it; each surviving link decodes the frame at
+// the receiver and hands the packets to onPacket. Frames travel through
+// the real wire format (EncodeFrame/DecodeFrame), so byte accounting and
+// serialisation are exercised on every delivery.
+func (r *runtime) broadcastRound(frames map[graph.NodeID][]Packet, onPacket func(from, to graph.NodeID, p Packet)) {
+	senders := make([]graph.NodeID, 0, len(frames))
+	for v, pkts := range frames {
+		if len(pkts) > 0 {
+			senders = append(senders, v)
+		}
+	}
+	if len(senders) == 0 {
+		return
+	}
+	r.stats.CommRounds++
+	sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
+	for _, from := range senders {
+		if r.crashed[from] {
+			continue
+		}
+		frame, err := EncodeFrame(frames[from])
+		if err != nil {
+			// Node IDs are validated at build time; an encoding failure is
+			// a programming error.
+			panic(fmt.Sprintf("dist: encode frame: %v", err))
+		}
+		r.stats.Broadcasts++
+		r.stats.BytesSent += len(frame)
+		for _, to := range r.cur.Neighbors(from) {
+			if r.crashed[to] || r.dropLink() {
+				continue
+			}
+			packets, err := DecodeFrame(frame)
+			if err != nil {
+				panic(fmt.Sprintf("dist: decode frame: %v", err))
+			}
+			r.stats.Delivered++
+			r.stats.BytesDelivered += len(frame)
+			for _, p := range packets {
+				onPacket(from, to, p)
+			}
+		}
+	}
+}
+
+// discover runs k rounds of adjacency gossip so every node learns the
+// connectivity among its k-hop neighbours.
+func (r *runtime) discover() {
+	pending := make(map[graph.NodeID][]Packet)
+	for _, v := range r.liveNodes() {
+		rec := r.views[v].record()
+		pending[v] = []Packet{{Kind: MsgHello, Owner: rec.owner, Neighbors: rec.nbrs}}
+	}
+	for round := 0; round < r.k; round++ {
+		next := make(map[graph.NodeID][]Packet)
+		delivered := false
+		r.broadcastRound(pending, func(_, to graph.NodeID, p Packet) {
+			delivered = true
+			if p.Kind != MsgHello {
+				return
+			}
+			if r.views[to].learn(adjRecord{owner: p.Owner, nbrs: p.Neighbors}) {
+				next[to] = append(next[to], p)
+			}
+		})
+		if !delivered {
+			break
+		}
+		pending = next
+	}
+}
+
+// candidate is one node's MIS bid.
+type candidate struct {
+	origin   graph.NodeID
+	priority uint64
+}
+
+// wins reports whether a beats b (higher priority, ID as tie-break).
+func (a candidate) wins(b candidate) bool {
+	if a.priority != b.priority {
+		return a.priority > b.priority
+	}
+	return a.origin > b.origin
+}
+
+func (r *runtime) mainLoop() {
+	maxRounds := r.cfg.MaxSuperRounds
+	if maxRounds <= 0 {
+		maxRounds = r.net.G.NumNodes() + 1
+	}
+	for sr := 1; sr <= maxRounds; sr++ {
+		if r.cfg.CrashAtSuperRound == sr {
+			r.injectCrashes()
+		}
+		cands := r.evaluateCandidates()
+		if len(cands) == 0 {
+			return
+		}
+		r.stats.SuperRounds++
+		winners := r.electMIS(cands, sr)
+		if len(winners) == 0 {
+			// All candidate floods lost; retry with fresh priorities.
+			continue
+		}
+		r.deleteWinners(winners)
+	}
+}
+
+func (r *runtime) injectCrashes() {
+	for _, v := range r.cfg.CrashNodes {
+		if r.cur.HasNode(v) && !r.crashed[v] {
+			r.crashed[v] = true
+			r.crashList = append(r.crashList, v)
+		}
+	}
+}
+
+// evaluateCandidates runs the local VPT test at every internal node whose
+// view changed since its last test.
+func (r *runtime) evaluateCandidates() []graph.NodeID {
+	var cands []graph.NodeID
+	for _, v := range r.liveNodes() {
+		if r.net.Boundary[v] {
+			continue
+		}
+		view := r.views[v]
+		if view.changed {
+			view.changed = false
+			r.stats.Tests++
+			r.deletable[v] = vpt.NeighborhoodDeletable(
+				view.neighborhoodGraph(r.k), view.liveNeighbors(v), r.cfg.Tau)
+		}
+		if r.deletable[v] {
+			cands = append(cands, v)
+		}
+	}
+	return cands
+}
+
+// electMIS floods candidate priorities m−1 hops and returns the local
+// winners: candidates that heard no stronger bid.
+func (r *runtime) electMIS(cands []graph.NodeID, superRound int) []graph.NodeID {
+	bids := make(map[graph.NodeID]candidate, len(cands))
+	heard := make(map[graph.NodeID]map[graph.NodeID]candidate) // node -> origin -> bid
+	pending := make(map[graph.NodeID][]Packet)
+	for _, v := range cands {
+		bid := candidate{
+			origin:   v,
+			priority: hashPriority(uint64(r.cfg.Seed), uint64(v), uint64(superRound)),
+		}
+		bids[v] = bid
+		pending[v] = []Packet{{Kind: MsgCandidate, Origin: v, Priority: bid.priority}}
+	}
+	for hop := 0; hop < r.m-1; hop++ {
+		next := make(map[graph.NodeID][]Packet)
+		delivered := false
+		r.broadcastRound(pending, func(_, to graph.NodeID, p Packet) {
+			delivered = true
+			if p.Kind != MsgCandidate || p.Origin == to {
+				return
+			}
+			m, ok := heard[to]
+			if !ok {
+				m = make(map[graph.NodeID]candidate)
+				heard[to] = m
+			}
+			if _, seen := m[p.Origin]; seen {
+				return
+			}
+			m[p.Origin] = candidate{origin: p.Origin, priority: p.Priority}
+			next[to] = append(next[to], p)
+		})
+		if !delivered {
+			break
+		}
+		pending = next
+	}
+	var winners []graph.NodeID
+	for _, v := range cands {
+		own := bids[v]
+		lost := false
+		for _, other := range heard[v] {
+			if other.wins(own) {
+				lost = true
+				break
+			}
+		}
+		if !lost {
+			winners = append(winners, v)
+		}
+	}
+	sort.Slice(winners, func(i, j int) bool { return winners[i] < winners[j] })
+	return winners
+}
+
+// deleteWinners removes the winners from the ground truth and floods their
+// DELETE announcements k hops so neighbours update their local views.
+func (r *runtime) deleteWinners(winners []graph.NodeID) {
+	// The winner's own farewell broadcast happens while its links are
+	// still up.
+	farewell := make(map[graph.NodeID][]Packet, len(winners))
+	for _, w := range winners {
+		farewell[w] = []Packet{{Kind: MsgDelete, Origin: w}}
+	}
+	pending := make(map[graph.NodeID][]Packet) // forwarder -> announcements
+	r.broadcastRound(farewell, func(_, to graph.NodeID, p Packet) {
+		if p.Kind == MsgDelete && r.applyDelete(to, p.Origin) {
+			pending[to] = append(pending[to], p)
+		}
+	})
+	for _, w := range winners {
+		r.deleted = append(r.deleted, w)
+	}
+	r.cur = r.cur.DeleteVertices(winners)
+
+	// Forward the announcements k−1 more hops among survivors.
+	for hop := 1; hop < r.k; hop++ {
+		for v := range pending {
+			if !r.cur.HasNode(v) {
+				delete(pending, v)
+			}
+		}
+		next := make(map[graph.NodeID][]Packet)
+		delivered := false
+		r.broadcastRound(pending, func(_, to graph.NodeID, p Packet) {
+			delivered = true
+			if p.Kind == MsgDelete && r.applyDelete(to, p.Origin) {
+				next[to] = append(next[to], p)
+			}
+		})
+		if !delivered {
+			break
+		}
+		pending = next
+	}
+}
+
+// applyDelete updates node's view with a DELETE(origin); returns true when
+// the announcement was new (and should be forwarded).
+func (r *runtime) applyDelete(node, origin graph.NodeID) bool {
+	view := r.views[node]
+	if !view.markDead(origin) {
+		return false
+	}
+	view.dropNeighbor(origin)
+	return true
+}
+
+func (r *runtime) result() Result {
+	final := r.cur.DeleteVertices(r.crashList)
+	kept := final.Nodes()
+	var internal []graph.NodeID
+	for _, v := range kept {
+		if !r.net.Boundary[v] {
+			internal = append(internal, v)
+		}
+	}
+	return Result{
+		Final:        final,
+		Kept:         kept,
+		KeptInternal: internal,
+		Deleted:      r.deleted,
+		Crashed:      append([]graph.NodeID(nil), r.crashList...),
+		Stats:        r.stats,
+	}
+}
+
+// splitMix is a tiny deterministic PRNG (SplitMix64) used for loss
+// decisions; math/rand is avoided here so that the stream is stable across
+// Go versions.
+type splitMix struct{ state uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{state: seed} }
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitMix) float64() float64 {
+	return float64(s.next()>>11) / float64(1<<53)
+}
+
+// hashPriority derives a stable per-(seed, node, round) MIS priority.
+func hashPriority(seed, node, round uint64) uint64 {
+	sm := newSplitMix(seed*0x100000001b3 ^ node*0x9e3779b97f4a7c15 ^ round*0x85ebca77c2b2ae63)
+	return sm.next()
+}

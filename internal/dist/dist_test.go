@@ -1,0 +1,285 @@
+package dist
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dcc/internal/core"
+	"dcc/internal/geom"
+	"dcc/internal/graph"
+	"dcc/internal/vpt"
+)
+
+// testNet builds a dense perturbed-grid UDG network with the grid perimeter
+// as boundary cycle (same construction as the core tests).
+func testNet(t *testing.T, seed int64, rows, cols int, radius float64) core.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	rect := geom.Rect{MaxX: float64(cols), MaxY: float64(rows)}
+	pts := geom.PerturbedGrid(rng, rows, cols, rect, 0.15)
+	g := geom.UDG(pts, radius)
+	if !g.IsConnected() {
+		t.Fatal("test network disconnected")
+	}
+	var order []graph.NodeID
+	for c := 0; c < cols; c++ {
+		order = append(order, graph.NodeID(c))
+	}
+	for r := 1; r < rows; r++ {
+		order = append(order, graph.NodeID(r*cols+cols-1))
+	}
+	for c := cols - 2; c >= 0; c-- {
+		order = append(order, graph.NodeID((rows-1)*cols+c))
+	}
+	for r := rows - 2; r >= 1; r-- {
+		order = append(order, graph.NodeID(r*cols))
+	}
+	b := make(map[graph.NodeID]bool, len(order))
+	for _, v := range order {
+		b[v] = true
+	}
+	net := core.Network{G: g, Boundary: b, BoundaryCycles: [][]graph.NodeID{order}}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	net := testNet(t, 60, 5, 5, 1.9)
+	if _, err := Run(net, Config{Tau: 2}); err == nil {
+		t.Fatal("tau=2 accepted")
+	}
+	if _, err := Run(net, Config{Tau: 3, Loss: 1.0}); err == nil {
+		t.Fatal("loss=1 accepted")
+	}
+	if _, err := Run(core.Network{}, Config{Tau: 3}); err == nil {
+		t.Fatal("invalid network accepted")
+	}
+}
+
+func TestRunPreservesCriterion(t *testing.T) {
+	for _, tau := range []int{3, 4, 5} {
+		net := testNet(t, 61, 8, 8, 1.9)
+		res, err := Run(net, Config{Tau: tau, Seed: 17})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := core.VerifyConfine(res.Final, net.BoundaryCycles, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("τ=%d: distributed run broke the criterion", tau)
+		}
+	}
+}
+
+func TestRunLocallyMaximal(t *testing.T) {
+	net := testNet(t, 62, 8, 8, 1.9)
+	tau := 4
+	res, err := Run(net, Config{Tau: tau, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.KeptInternal {
+		if vpt.VertexDeletable(res.Final, v, tau) {
+			t.Fatalf("node %d still deletable after the protocol terminated", v)
+		}
+	}
+	if len(res.Deleted) == 0 {
+		t.Fatal("dense network yielded no deletions")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	net := testNet(t, 63, 7, 7, 1.9)
+	cfg := Config{Tau: 4, Seed: 5, Loss: 0.05}
+	r1, err := Run(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Deleted, r2.Deleted) {
+		t.Fatal("same seed produced different deletion sequences")
+	}
+	if r1.Stats != r2.Stats {
+		t.Fatalf("same seed produced different stats: %+v vs %+v", r1.Stats, r2.Stats)
+	}
+}
+
+func TestRunMatchesCentralizedQuality(t *testing.T) {
+	// The distributed result must be comparable in size to the centralized
+	// sequential oracle (both are maximal deletions; sizes differ only by
+	// deletion-order effects).
+	net := testNet(t, 64, 8, 8, 1.9)
+	tau := 4
+	distRes, err := Run(net, Config{Tau: tau, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreRes, err := core.Schedule(net, core.Options{Tau: tau, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, nc := len(distRes.KeptInternal), len(coreRes.KeptInternal)
+	if nd == 0 || nc == 0 {
+		t.Fatalf("degenerate results: dist=%d core=%d", nd, nc)
+	}
+	ratio := float64(nd) / float64(nc)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("distributed kept %d vs centralized %d — beyond order effects", nd, nc)
+	}
+}
+
+func TestRunCommunicationAccounting(t *testing.T) {
+	net := testNet(t, 65, 6, 6, 1.9)
+	res, err := Run(net, Config{Tau: 4, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.CommRounds < vpt.NeighborhoodRadius(4) {
+		t.Fatalf("CommRounds %d below discovery depth", s.CommRounds)
+	}
+	if s.Broadcasts == 0 || s.Delivered == 0 {
+		t.Fatalf("no traffic recorded: %+v", s)
+	}
+	if s.Delivered < s.Broadcasts {
+		t.Fatalf("delivered %d < broadcasts %d in a dense network", s.Delivered, s.Broadcasts)
+	}
+	if s.Tests == 0 || s.SuperRounds == 0 {
+		t.Fatalf("no work recorded: %+v", s)
+	}
+}
+
+func TestRunWithMessageLossTerminates(t *testing.T) {
+	net := testNet(t, 66, 7, 7, 1.9)
+	res, err := Run(net, Config{Tau: 4, Seed: 43, Loss: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Liveness: terminates and still deletes something in a dense network.
+	if len(res.Deleted) == 0 {
+		t.Fatal("no deletions despite dense redundancy under 20% loss")
+	}
+	// Lossy discovery can only make nodes more conservative or elect
+	// near-simultaneous winners; the kept set must remain a superset of
+	// the boundary.
+	for v := range net.Boundary {
+		if !res.Final.HasNode(v) {
+			t.Fatalf("boundary node %d lost", v)
+		}
+	}
+}
+
+func TestRunWithCrashesTerminates(t *testing.T) {
+	net := testNet(t, 67, 7, 7, 1.9)
+	crash := []graph.NodeID{16, 17, 24}
+	res, err := Run(net, Config{
+		Tau:               4,
+		Seed:              47,
+		CrashNodes:        crash,
+		CrashAtSuperRound: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Crashed) != len(crash) {
+		t.Fatalf("crashed = %v, want %v", res.Crashed, crash)
+	}
+	for _, v := range crash {
+		if res.Final.HasNode(v) {
+			t.Fatalf("crashed node %d still in final graph", v)
+		}
+	}
+}
+
+func TestViewNeighborhoodGraphMatchesTruth(t *testing.T) {
+	// After loss-free discovery, every node's local Γ^k must equal the
+	// ground-truth induced k-hop neighbourhood.
+	net := testNet(t, 68, 6, 6, 1.9)
+	k := vpt.NeighborhoodRadius(5)
+	r := newRuntime(net, Config{Tau: 5, Seed: 3})
+	r.discover()
+	for _, v := range net.G.Nodes() {
+		local := r.views[v].neighborhoodGraph(k)
+		truth := net.G.InducedSubgraph(net.G.KHopNeighbors(v, k))
+		if local.NumNodes() != truth.NumNodes() || local.NumEdges() != truth.NumEdges() {
+			t.Fatalf("node %d: local view (n=%d,m=%d) != truth (n=%d,m=%d)",
+				v, local.NumNodes(), local.NumEdges(), truth.NumNodes(), truth.NumEdges())
+		}
+		for _, e := range truth.Edges() {
+			if !local.HasEdge(e.U, e.V) {
+				t.Fatalf("node %d: edge %v missing from local view", v, e)
+			}
+		}
+	}
+}
+
+func TestSplitMixDeterminism(t *testing.T) {
+	a, b := newSplitMix(7), newSplitMix(7)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("splitmix not deterministic")
+		}
+	}
+	f := newSplitMix(9)
+	for i := 0; i < 1000; i++ {
+		x := f.float64()
+		if x < 0 || x >= 1 {
+			t.Fatalf("float64 out of range: %v", x)
+		}
+	}
+}
+
+func TestHashPriorityVaries(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for node := uint64(0); node < 50; node++ {
+		for round := uint64(1); round < 5; round++ {
+			p := hashPriority(1, node, round)
+			if seen[p] {
+				t.Fatalf("priority collision at node %d round %d", node, round)
+			}
+			seen[p] = true
+		}
+	}
+	if hashPriority(1, 3, 1) == hashPriority(2, 3, 1) {
+		t.Fatal("seed does not influence priority")
+	}
+}
+
+func BenchmarkDistRun(b *testing.B) {
+	rng := rand.New(rand.NewSource(70))
+	rect := geom.Rect{MaxX: 8, MaxY: 8}
+	pts := geom.PerturbedGrid(rng, 8, 8, rect, 0.15)
+	g := geom.UDG(pts, 1.9)
+	var order []graph.NodeID
+	for c := 0; c < 8; c++ {
+		order = append(order, graph.NodeID(c))
+	}
+	for r := 1; r < 8; r++ {
+		order = append(order, graph.NodeID(r*8+7))
+	}
+	for c := 6; c >= 0; c-- {
+		order = append(order, graph.NodeID(7*8+c))
+	}
+	for r := 6; r >= 1; r-- {
+		order = append(order, graph.NodeID(r*8))
+	}
+	bd := make(map[graph.NodeID]bool)
+	for _, v := range order {
+		bd[v] = true
+	}
+	net := core.Network{G: g, Boundary: bd, BoundaryCycles: [][]graph.NodeID{order}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(net, Config{Tau: 4, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

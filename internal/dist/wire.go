@@ -1,0 +1,182 @@
+package dist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dcc/internal/graph"
+)
+
+// The distributed protocol's wire format. Every radio frame is a sequence
+// of packets:
+//
+//	frame   := version(1) count(uvarint) packet*
+//	packet  := kind(1) body
+//	HELLO   := owner(uvarint) n(uvarint) neighbor(uvarint)*   // adjacency gossip
+//	CAND    := origin(uvarint) priority(8, big endian)        // MIS bid
+//	DELETE  := origin(uvarint)                                // deletion announce
+//
+// Node IDs are non-negative and fit in uvarints. The simulator encodes
+// every frame it transmits and decodes it at each receiver, so the format
+// (and its size accounting) is exercised on every delivery, not just in
+// round-trip tests.
+
+// wireVersion is the frame format version.
+const wireVersion = 1
+
+// MsgKind discriminates packet bodies.
+type MsgKind byte
+
+// Message kinds of the coverage protocol.
+const (
+	MsgHello MsgKind = iota + 1
+	MsgCandidate
+	MsgDelete
+)
+
+// Errors returned by frame decoding.
+var (
+	ErrBadFrame   = errors.New("dist: malformed frame")
+	ErrBadVersion = errors.New("dist: unsupported frame version")
+)
+
+// Packet is one protocol message. Fields are used according to Kind.
+type Packet struct {
+	Kind MsgKind
+	// Owner and Neighbors carry a HELLO adjacency record.
+	Owner     graph.NodeID
+	Neighbors []graph.NodeID
+	// Origin identifies the subject of CANDIDATE and DELETE packets.
+	Origin graph.NodeID
+	// Priority is the MIS bid of a CANDIDATE.
+	Priority uint64
+}
+
+// appendPacket serialises p onto dst.
+func appendPacket(dst []byte, p Packet) ([]byte, error) {
+	dst = append(dst, byte(p.Kind))
+	switch p.Kind {
+	case MsgHello:
+		if p.Owner < 0 {
+			return nil, fmt.Errorf("dist: negative node id %d", p.Owner)
+		}
+		dst = binary.AppendUvarint(dst, uint64(p.Owner))
+		dst = binary.AppendUvarint(dst, uint64(len(p.Neighbors)))
+		for _, n := range p.Neighbors {
+			if n < 0 {
+				return nil, fmt.Errorf("dist: negative node id %d", n)
+			}
+			dst = binary.AppendUvarint(dst, uint64(n))
+		}
+	case MsgCandidate:
+		if p.Origin < 0 {
+			return nil, fmt.Errorf("dist: negative node id %d", p.Origin)
+		}
+		dst = binary.AppendUvarint(dst, uint64(p.Origin))
+		dst = binary.BigEndian.AppendUint64(dst, p.Priority)
+	case MsgDelete:
+		if p.Origin < 0 {
+			return nil, fmt.Errorf("dist: negative node id %d", p.Origin)
+		}
+		dst = binary.AppendUvarint(dst, uint64(p.Origin))
+	default:
+		return nil, fmt.Errorf("dist: unknown packet kind %d", p.Kind)
+	}
+	return dst, nil
+}
+
+// EncodeFrame serialises a batch of packets into one radio frame.
+func EncodeFrame(packets []Packet) ([]byte, error) {
+	buf := make([]byte, 0, 16+8*len(packets))
+	buf = append(buf, wireVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(packets)))
+	var err error
+	for _, p := range packets {
+		buf, err = appendPacket(buf, p)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// DecodeFrame parses a radio frame back into packets.
+func DecodeFrame(frame []byte) ([]Packet, error) {
+	if len(frame) == 0 {
+		return nil, ErrBadFrame
+	}
+	if frame[0] != wireVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, frame[0])
+	}
+	rest := frame[1:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, ErrBadFrame
+	}
+	rest = rest[n:]
+	if count > uint64(len(frame)) {
+		return nil, ErrBadFrame // count cannot exceed the byte length
+	}
+	packets := make([]Packet, 0, count)
+	readID := func() (graph.NodeID, error) {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, ErrBadFrame
+		}
+		rest = rest[n:]
+		return graph.NodeID(v), nil
+	}
+	for i := uint64(0); i < count; i++ {
+		if len(rest) == 0 {
+			return nil, ErrBadFrame
+		}
+		p := Packet{Kind: MsgKind(rest[0])}
+		rest = rest[1:]
+		switch p.Kind {
+		case MsgHello:
+			owner, err := readID()
+			if err != nil {
+				return nil, err
+			}
+			p.Owner = owner
+			cnt, n := binary.Uvarint(rest)
+			if n <= 0 || cnt > uint64(len(frame)) {
+				return nil, ErrBadFrame
+			}
+			rest = rest[n:]
+			p.Neighbors = make([]graph.NodeID, 0, cnt)
+			for j := uint64(0); j < cnt; j++ {
+				id, err := readID()
+				if err != nil {
+					return nil, err
+				}
+				p.Neighbors = append(p.Neighbors, id)
+			}
+		case MsgCandidate:
+			origin, err := readID()
+			if err != nil {
+				return nil, err
+			}
+			p.Origin = origin
+			if len(rest) < 8 {
+				return nil, ErrBadFrame
+			}
+			p.Priority = binary.BigEndian.Uint64(rest)
+			rest = rest[8:]
+		case MsgDelete:
+			origin, err := readID()
+			if err != nil {
+				return nil, err
+			}
+			p.Origin = origin
+		default:
+			return nil, fmt.Errorf("%w: kind %d", ErrBadFrame, p.Kind)
+		}
+		packets = append(packets, p)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(rest))
+	}
+	return packets, nil
+}

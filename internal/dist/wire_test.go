@@ -1,0 +1,174 @@
+package dist
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dcc/internal/graph"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	packets := []Packet{
+		{Kind: MsgHello, Owner: 7, Neighbors: []graph.NodeID{1, 2, 300}},
+		{Kind: MsgHello, Owner: 0, Neighbors: nil},
+		{Kind: MsgCandidate, Origin: 42, Priority: 0xdeadbeefcafef00d},
+		{Kind: MsgDelete, Origin: 9001},
+	}
+	frame, err := EncodeFrame(packets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(packets) {
+		t.Fatalf("decoded %d packets, want %d", len(got), len(packets))
+	}
+	for i := range packets {
+		if got[i].Kind != packets[i].Kind ||
+			got[i].Owner != packets[i].Owner ||
+			got[i].Origin != packets[i].Origin ||
+			got[i].Priority != packets[i].Priority {
+			t.Fatalf("packet %d mismatch: %+v vs %+v", i, got[i], packets[i])
+		}
+		if len(got[i].Neighbors) != len(packets[i].Neighbors) {
+			t.Fatalf("packet %d neighbour count mismatch", i)
+		}
+		if len(packets[i].Neighbors) > 0 && !reflect.DeepEqual(got[i].Neighbors, packets[i].Neighbors) {
+			t.Fatalf("packet %d neighbours mismatch", i)
+		}
+	}
+}
+
+func TestEmptyFrame(t *testing.T) {
+	frame, err := EncodeFrame(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("decoded %d packets from empty frame", len(got))
+	}
+}
+
+func TestEncodeRejectsBadPackets(t *testing.T) {
+	if _, err := EncodeFrame([]Packet{{Kind: MsgKind(99)}}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := EncodeFrame([]Packet{{Kind: MsgDelete, Origin: -1}}); err == nil {
+		t.Fatal("negative id accepted")
+	}
+	if _, err := EncodeFrame([]Packet{{Kind: MsgHello, Owner: 1, Neighbors: []graph.NodeID{-2}}}); err == nil {
+		t.Fatal("negative neighbour accepted")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{99},         // bad version
+		{1},          // missing count
+		{1, 5},       // count 5, no packets
+		{1, 1, 42},   // unknown kind
+		{1, 1, 2, 7}, // candidate without priority bytes
+		{1, 1, 3},    // delete without origin
+		{1, 0, 0xff}, // trailing bytes
+	}
+	for i, frame := range cases {
+		if _, err := DecodeFrame(frame); err == nil {
+			t.Fatalf("case %d: garbage frame accepted", i)
+		}
+	}
+	// Version error is distinguishable.
+	if _, err := DecodeFrame([]byte{2, 0}); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("want ErrBadVersion, got %v", err)
+	}
+}
+
+func TestDecodeTruncatedHello(t *testing.T) {
+	full, err := EncodeFrame([]Packet{{Kind: MsgHello, Owner: 5, Neighbors: []graph.NodeID{1, 2, 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := DecodeFrame(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(20)
+		packets := make([]Packet, 0, n)
+		for i := 0; i < n; i++ {
+			switch r.Intn(3) {
+			case 0:
+				p := Packet{Kind: MsgHello, Owner: graph.NodeID(r.Intn(1 << 20))}
+				for j := r.Intn(12); j > 0; j-- {
+					p.Neighbors = append(p.Neighbors, graph.NodeID(r.Intn(1<<20)))
+				}
+				packets = append(packets, p)
+			case 1:
+				packets = append(packets, Packet{
+					Kind: MsgCandidate, Origin: graph.NodeID(r.Intn(1 << 20)), Priority: r.Uint64(),
+				})
+			default:
+				packets = append(packets, Packet{Kind: MsgDelete, Origin: graph.NodeID(r.Intn(1 << 20))})
+			}
+		}
+		frame, err := EncodeFrame(packets)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeFrame(frame)
+		if err != nil || len(got) != len(packets) {
+			return false
+		}
+		for i := range packets {
+			a, b := got[i], packets[i]
+			if a.Kind != b.Kind || a.Owner != b.Owner || a.Origin != b.Origin || a.Priority != b.Priority {
+				return false
+			}
+			if len(a.Neighbors) != len(b.Neighbors) {
+				return false
+			}
+			for j := range a.Neighbors {
+				if a.Neighbors[j] != b.Neighbors[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeDecodeFrame(b *testing.B) {
+	packets := []Packet{
+		{Kind: MsgHello, Owner: 7, Neighbors: []graph.NodeID{1, 2, 3, 4, 5, 6, 8, 9, 10, 11}},
+		{Kind: MsgCandidate, Origin: 42, Priority: 1 << 60},
+		{Kind: MsgDelete, Origin: 3},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		frame, err := EncodeFrame(packets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := DecodeFrame(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

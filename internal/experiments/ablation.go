@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"dcc"
+	"dcc/internal/dist"
+	"dcc/internal/stats"
+)
+
+// EnginesResult compares the three scheduling engines on identical
+// networks: the sequential oracle, the MIS-parallel round engine, and the
+// fully distributed message-passing protocol.
+type EnginesResult struct {
+	Tau int
+	// KeptSequential/KeptParallel/KeptDistributed are mean coverage-set
+	// sizes.
+	KeptSequential, KeptParallel, KeptDistributed float64
+	// TestsSequential/TestsParallel/TestsDistributed are mean deletability
+	// test counts.
+	TestsSequential, TestsParallel, TestsDistributed float64
+	// Rounds is the mean number of MIS super-rounds of the distributed
+	// engine; Broadcasts and KBytes its mean radio cost.
+	Rounds, Broadcasts, KBytes float64
+}
+
+// AblationEngines quantifies what distribution costs: all three engines
+// must land on locally-maximal coverage sets of comparable size; the
+// distributed protocol pays communication for it.
+func AblationEngines(w io.Writer, cfg Config) (EnginesResult, error) {
+	cfg = cfg.withDefaults()
+	tau := 4
+	out := EnginesResult{Tau: tau}
+	var kept [3][]float64
+	var tests [3][]float64
+	var rounds, bcasts, kbytes []float64
+	for run := 0; run < cfg.Runs; run++ {
+		dep, err := cfg.deploy(cfg.Seed+int64(run)*13_007, math.Sqrt(3))
+		if err != nil {
+			return EnginesResult{}, err
+		}
+		seq, err := dep.ScheduleDCC(tau, dcc.ScheduleOptions{Seed: cfg.Seed + int64(run)})
+		if err != nil {
+			return EnginesResult{}, err
+		}
+		par, err := dep.ScheduleDCC(tau, dcc.ScheduleOptions{
+			Seed: cfg.Seed + int64(run), Parallel: true, Workers: cfg.Workers,
+		})
+		if err != nil {
+			return EnginesResult{}, err
+		}
+		dst, err := dep.ScheduleDCCDistributed(dist.Config{Tau: tau, Seed: cfg.Seed + int64(run)})
+		if err != nil {
+			return EnginesResult{}, err
+		}
+		kept[0] = append(kept[0], float64(len(seq.KeptInternal)))
+		kept[1] = append(kept[1], float64(len(par.KeptInternal)))
+		kept[2] = append(kept[2], float64(len(dst.KeptInternal)))
+		tests[0] = append(tests[0], float64(seq.Stats.Tests))
+		tests[1] = append(tests[1], float64(par.Stats.Tests))
+		tests[2] = append(tests[2], float64(dst.Stats.Tests))
+		rounds = append(rounds, float64(dst.Stats.SuperRounds))
+		bcasts = append(bcasts, float64(dst.Stats.Broadcasts))
+		kbytes = append(kbytes, float64(dst.Stats.BytesSent)/1024)
+	}
+	out.KeptSequential = stats.Mean(kept[0])
+	out.KeptParallel = stats.Mean(kept[1])
+	out.KeptDistributed = stats.Mean(kept[2])
+	out.TestsSequential = stats.Mean(tests[0])
+	out.TestsParallel = stats.Mean(tests[1])
+	out.TestsDistributed = stats.Mean(tests[2])
+	out.Rounds = stats.Mean(rounds)
+	out.Broadcasts = stats.Mean(bcasts)
+	out.KBytes = stats.Mean(kbytes)
+
+	fmt.Fprintf(w, "Ablation — scheduling engines (τ=%d, n=%d, %d runs)\n", tau, cfg.Nodes, cfg.Runs)
+	fmt.Fprintf(w, "  %-22s %10s %10s\n", "engine", "kept", "VPT tests")
+	fmt.Fprintf(w, "  %-22s %10.1f %10.1f\n", "sequential (oracle)", out.KeptSequential, out.TestsSequential)
+	fmt.Fprintf(w, "  %-22s %10.1f %10.1f\n", "MIS-parallel", out.KeptParallel, out.TestsParallel)
+	fmt.Fprintf(w, "  %-22s %10.1f %10.1f\n", "distributed protocol", out.KeptDistributed, out.TestsDistributed)
+	fmt.Fprintf(w, "  distributed cost: %.1f super-rounds, %.0f broadcasts, %.1f KiB on air\n",
+		out.Rounds, out.Broadcasts, out.KBytes)
+	return out, nil
+}
+
+// LossResult records the distributed protocol's behaviour under message
+// loss.
+type LossResult struct {
+	LossRates []float64
+	// Kept is the mean coverage-set size per loss rate.
+	Kept []float64
+	// CriterionOK is the fraction of runs whose final graph still passes
+	// the global criterion.
+	CriterionOK []float64
+	// Broadcasts is the mean broadcast count (retries make it grow).
+	Broadcasts []float64
+}
+
+// AblationLoss stresses the distributed protocol under increasing per-link
+// message loss. Liveness must hold at every rate; the documented safety
+// caveat (simultaneous nearby winners under lost candidate floods) shows
+// up, if at all, as a sub-unit CriterionOK fraction. Each run uses the
+// smallest confine size its network satisfies initially (Theorem 5's
+// precondition), so loss-free runs must always preserve the criterion.
+func AblationLoss(w io.Writer, cfg Config) (LossResult, error) {
+	cfg = cfg.withDefaults()
+	out := LossResult{LossRates: []float64{0, 0.05, 0.1, 0.2, 0.3}}
+	if cfg.Quick {
+		out.LossRates = []float64{0, 0.1, 0.3}
+	}
+	for _, loss := range out.LossRates {
+		var kept, okRuns, bcasts []float64
+		for run := 0; run < cfg.Runs; run++ {
+			dep, err := cfg.deploy(cfg.Seed+int64(run)*17_389, math.Sqrt(3))
+			if err != nil {
+				return LossResult{}, err
+			}
+			tau, err := dep.AchievableTau(8)
+			if err != nil {
+				continue // pathological deployment; skip the run
+			}
+			if tau < 4 {
+				tau = 4
+			}
+			res, err := dep.ScheduleDCCDistributed(dist.Config{
+				Tau: tau, Seed: cfg.Seed + int64(run), Loss: loss,
+			})
+			if err != nil {
+				return LossResult{}, err
+			}
+			ok, err := dep.VerifyConfine(res.Final, tau)
+			if err != nil {
+				return LossResult{}, err
+			}
+			kept = append(kept, float64(len(res.KeptInternal)))
+			if ok {
+				okRuns = append(okRuns, 1)
+			} else {
+				okRuns = append(okRuns, 0)
+			}
+			bcasts = append(bcasts, float64(res.Stats.Broadcasts))
+		}
+		out.Kept = append(out.Kept, stats.Mean(kept))
+		out.CriterionOK = append(out.CriterionOK, stats.Mean(okRuns))
+		out.Broadcasts = append(out.Broadcasts, stats.Mean(bcasts))
+	}
+	fmt.Fprintf(w, "Ablation — message loss robustness (τ per-run achievable, n=%d, %d runs)\n", cfg.Nodes, cfg.Runs)
+	fmt.Fprint(w, stats.Table("loss",
+		stats.Series{Name: "kept", X: out.LossRates, Y: out.Kept},
+		stats.Series{Name: "criterion ok", X: out.LossRates, Y: out.CriterionOK},
+		stats.Series{Name: "broadcasts", X: out.LossRates, Y: out.Broadcasts},
+	))
+	return out, nil
+}
+
+// QuasiUDGResult compares scheduling under UDG and quasi-UDG links.
+type QuasiUDGResult struct {
+	Tau int
+	// KeptUDG / KeptQuasi are mean coverage-set sizes under the two link
+	// models; OKUDG / OKQuasi the fraction of runs whose result passes the
+	// global criterion.
+	KeptUDG, KeptQuasi float64
+	OKUDG, OKQuasi     float64
+}
+
+// AblationQuasiUDG supports the paper's claim (§VI-B) that the algorithm
+// does not rely on the unit-disk model: scheduling runs unchanged on
+// quasi-UDG connectivity (links between 0.6·Rc and Rc exist only with
+// probability ½) and still preserves the criterion.
+func AblationQuasiUDG(w io.Writer, cfg Config) (QuasiUDGResult, error) {
+	cfg = cfg.withDefaults()
+	out := QuasiUDGResult{Tau: 5}
+	var keptU, keptQ, okU, okQ []float64
+	for run := 0; run < cfg.Runs; run++ {
+		for _, model := range []dcc.LinkModel{dcc.UDG, dcc.QuasiUDG} {
+			dep, err := dcc.Deploy(dcc.DeployOptions{
+				Nodes:     cfg.Nodes,
+				AvgDegree: cfg.AvgDegree,
+				Gamma:     1.0,
+				Seed:      cfg.Seed + int64(run)*7_561,
+				Model:     model,
+			})
+			if err != nil {
+				return QuasiUDGResult{}, err
+			}
+			// Use the smallest τ the network satisfies (≥ 5) so the
+			// preservation guarantee applies under both models.
+			tau, err := dep.AchievableTau(8)
+			if err != nil {
+				continue
+			}
+			if tau < out.Tau {
+				tau = out.Tau
+			}
+			res, err := dep.ScheduleDCC(tau, dcc.ScheduleOptions{Seed: cfg.Seed + int64(run)})
+			if err != nil {
+				return QuasiUDGResult{}, err
+			}
+			ok, err := dep.VerifyConfine(res.Final, tau)
+			if err != nil {
+				return QuasiUDGResult{}, err
+			}
+			kept := float64(len(res.KeptInternal))
+			okv := 0.0
+			if ok {
+				okv = 1
+			}
+			if model == dcc.UDG {
+				keptU = append(keptU, kept)
+				okU = append(okU, okv)
+			} else {
+				keptQ = append(keptQ, kept)
+				okQ = append(okQ, okv)
+			}
+		}
+	}
+	out.KeptUDG = stats.Mean(keptU)
+	out.KeptQuasi = stats.Mean(keptQ)
+	out.OKUDG = stats.Mean(okU)
+	out.OKQuasi = stats.Mean(okQ)
+	fmt.Fprintf(w, "Ablation — communication model (τ≥%d, n=%d, %d runs)\n", out.Tau, cfg.Nodes, cfg.Runs)
+	fmt.Fprintf(w, "  %-10s %10s %14s\n", "model", "kept", "criterion ok")
+	fmt.Fprintf(w, "  %-10s %10.1f %14.2f\n", "UDG", out.KeptUDG, out.OKUDG)
+	fmt.Fprintf(w, "  %-10s %10.1f %14.2f\n", "quasi-UDG", out.KeptQuasi, out.OKQuasi)
+	fmt.Fprintf(w, "  paper §VI-B: the algorithm uses connectivity only; no UDG assumption\n")
+	return out, nil
+}
+
+// RotationResultSummary summarises the sleep-rotation ablation.
+type RotationResultSummary struct {
+	Epochs int
+	// PerEpoch is the mean awake-set size; Distinct the number of distinct
+	// nodes used across all epochs; MaxDuty the worst per-node duty.
+	PerEpoch, Distinct, MaxDuty float64
+}
+
+// AblationRotation measures how well duty-biased rescheduling spreads load
+// across epochs (the lifetime application of §III-B).
+func AblationRotation(w io.Writer, cfg Config) (RotationResultSummary, error) {
+	cfg = cfg.withDefaults()
+	const epochs = 5
+	tau := 5
+	var perEpoch, distinct, maxDuty []float64
+	for run := 0; run < cfg.Runs; run++ {
+		dep, err := cfg.deploy(cfg.Seed+int64(run)*23_567, 1.0)
+		if err != nil {
+			return RotationResultSummary{}, err
+		}
+		rot, err := dep.Rotate(tau, epochs, cfg.Seed+int64(run))
+		if err != nil {
+			return RotationResultSummary{}, err
+		}
+		duty := make(map[dcc.NodeID]int)
+		total := 0
+		for _, ep := range rot {
+			total += len(ep.Result.KeptInternal)
+			for _, v := range ep.Result.KeptInternal {
+				duty[v]++
+			}
+		}
+		worst := 0
+		for _, d := range duty {
+			if d > worst {
+				worst = d
+			}
+		}
+		perEpoch = append(perEpoch, float64(total)/epochs)
+		distinct = append(distinct, float64(len(duty)))
+		maxDuty = append(maxDuty, float64(worst))
+	}
+	out := RotationResultSummary{
+		Epochs:   epochs,
+		PerEpoch: stats.Mean(perEpoch),
+		Distinct: stats.Mean(distinct),
+		MaxDuty:  stats.Mean(maxDuty),
+	}
+	fmt.Fprintf(w, "Ablation — sleep rotation (τ=%d, %d epochs, n=%d, %d runs)\n",
+		tau, epochs, cfg.Nodes, cfg.Runs)
+	fmt.Fprintf(w, "  awake per epoch: %.1f   distinct nodes used: %.1f   worst duty: %.1f/%d\n",
+		out.PerEpoch, out.Distinct, out.MaxDuty, epochs)
+	return out, nil
+}

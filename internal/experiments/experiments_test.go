@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+// tiny returns a configuration small enough for unit tests. MaxTau ends on
+// an even confine size: odd values are neighbourhood-radius jumps
+// (k = ⌈τ/2⌉ grows), where void pockets can transiently suppress deletions
+// (see the Figure 3 notes in EXPERIMENTS.md).
+func tiny() Config {
+	return Config{Seed: 1, Runs: 1, Nodes: 150, MaxTau: 6, Quick: true}
+}
+
+func TestFigure1(t *testing.T) {
+	var b strings.Builder
+	res, err := Figure1(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DCCCovered {
+		t.Fatal("DCC must certify the möbius network")
+	}
+	if res.HGCCovered {
+		t.Fatal("HGC must report a phantom hole on the möbius network")
+	}
+	if res.H1Rank != 1 {
+		t.Fatalf("H1 rank = %d, want 1", res.H1Rank)
+	}
+	if !strings.Contains(b.String(), "Figure 1") {
+		t.Fatal("missing output header")
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	var b strings.Builder
+	res, err := Figure2(&b, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Taus) != 4 {
+		t.Fatalf("want 4 snapshots, got %d", len(res.Taus))
+	}
+	// Single-run size series may bump at neighbourhood-radius jumps
+	// (τ=5); the end-to-end reduction is what Figure 2 demonstrates.
+	first, last := res.KeptInternal[0], res.KeptInternal[len(res.KeptInternal)-1]
+	if last > first {
+		t.Fatalf("τ=6 kept more than τ=3: %v", res.KeptInternal)
+	}
+	if res.Dep == nil || len(res.Results) != 4 {
+		t.Fatal("missing rendering data")
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	var b strings.Builder
+	res, err := Figure3(&b, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Taus) == 0 || res.Taus[0] != 3 {
+		t.Fatalf("tau sweep wrong: %v", res.Taus)
+	}
+	if math.Abs(res.Ratio[0]-1.0) > 1e-9 {
+		t.Fatalf("τ=3 ratio = %v, want 1.0 (normalization)", res.Ratio[0])
+	}
+	// Shape: overall decline; single-run series may bump at the
+	// neighbourhood-radius jump (τ=5).
+	last := res.Ratio[len(res.Ratio)-1]
+	if last >= 1.0 {
+		t.Fatalf("largest τ saved nothing: %v", res.Ratio)
+	}
+	for i := 1; i < len(res.Ratio); i++ {
+		if res.Ratio[i] > res.Ratio[i-1]+0.5 {
+			t.Fatalf("ratio spiked implausibly: %v", res.Ratio)
+		}
+	}
+	if !strings.Contains(b.String(), "Figure 3") {
+		t.Fatal("missing output header")
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	var b strings.Builder
+	res, err := Figure4(&b, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Lambda) != 4 || len(res.Lambda[0]) != len(res.Gammas) {
+		t.Fatal("lambda matrix malformed")
+	}
+	// λ must never be meaningfully negative (DCC never keeps more than
+	// the τ=3 pattern) and must be positive somewhere.
+	positive := false
+	for d := range res.Lambda {
+		for i, v := range res.Lambda[d] {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < -0.05 {
+				t.Fatalf("λ[%d][%d] = %v strongly negative", d, i, v)
+			}
+			if v > 0.01 {
+				positive = true
+			}
+		}
+	}
+	if !positive {
+		t.Fatal("DCC saved nodes nowhere")
+	}
+	// Blanket coverage at γ=2 is infeasible for any connectivity method.
+	if !math.IsNaN(res.Lambda[0][0]) {
+		t.Fatalf("λ(Full, γ=2) = %v, want NaN (infeasible)", res.Lambda[0][0])
+	}
+	// γ=1 admits τ=6 blanket coverage → strictly better than HGC.
+	full := res.Lambda[0]
+	if v := full[len(full)-1]; math.IsNaN(v) || v <= 0 {
+		t.Fatalf("λ(Full, γ=1) = %v, want > 0", v)
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	var b strings.Builder
+	res, err := Figure5(&b, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Edges == 0 {
+		t.Fatal("no edges in trace")
+	}
+	// Fraction of edges ≥ threshold grows as the threshold loosens.
+	for i := 1; i < len(res.Fraction); i++ {
+		if res.Fraction[i] < res.Fraction[i-1]-1e-9 {
+			t.Fatalf("CDF fraction not monotone: %v", res.Fraction)
+		}
+	}
+	if res.Fraction[len(res.Fraction)-1] < 0.99 {
+		t.Fatalf("fraction at −95 dBm = %v, want ≈1", res.Fraction[len(res.Fraction)-1])
+	}
+	if res.ThresholdDBm > -60 || res.ThresholdDBm < -95 {
+		t.Fatalf("80%% threshold %v dBm implausible", res.ThresholdDBm)
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	var b strings.Builder
+	res, err := Figure6(&b, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Taus) != 6 {
+		t.Fatalf("want τ=3..8, got %v", res.Taus)
+	}
+	// The headline effect: a large reduction from the full population,
+	// with τ=8 at or below τ=3 (monotone up to radius-jump bumps).
+	first, last := res.LeftInner[0], res.LeftInner[len(res.LeftInner)-1]
+	if last > first {
+		t.Fatalf("τ=8 kept more than τ=3: %v", res.LeftInner)
+	}
+	if last >= res.TotalInner {
+		t.Fatalf("no reduction: %v of %d", res.LeftInner, res.TotalInner)
+	}
+}
+
+func TestFigure7(t *testing.T) {
+	var b strings.Builder
+	res, err := Figure7(&b, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Taus) != 5 {
+		t.Fatalf("want τ=3..7, got %v", res.Taus)
+	}
+	for i, n := range res.LeftInner {
+		if n < 0 || n > res.Net.G.NumNodes() {
+			t.Fatalf("snapshot %d has %d nodes", i, n)
+		}
+	}
+	if res.Trace == nil || len(res.Results) != 5 {
+		t.Fatal("missing rendering data")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	full := Config{}.withDefaults()
+	if full.Nodes != 1600 || full.MaxTau != 9 || full.Runs != 10 {
+		t.Fatalf("full defaults: %+v", full)
+	}
+	quick := Config{Quick: true}.withDefaults()
+	if quick.Nodes != 300 || quick.MaxTau != 6 || quick.Runs != 2 {
+		t.Fatalf("quick defaults: %+v", quick)
+	}
+}
+
+func TestDeployConfig(t *testing.T) {
+	cfg := tiny().withDefaults()
+	dep, err := cfg.deploy(99, math.Sqrt(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.G.NumNodes() <= cfg.Nodes {
+		t.Fatal("deployment missing boundary ring")
+	}
+	if math.Abs(dep.Gamma()-math.Sqrt(3)) > 1e-9 {
+		t.Fatalf("gamma = %v", dep.Gamma())
+	}
+}
+
+func BenchmarkFigure3Tiny(b *testing.B) {
+	cfg := tiny()
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure3(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dcc/internal/graph"
+)
+
+func TestDist(t *testing.T) {
+	if d := Dist(Point{0, 0}, Point{3, 4}); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("Dist = %v, want 5", d)
+	}
+	if d := Dist(Point{1, 1}, Point{1, 1}); d != 0 {
+		t.Fatalf("Dist of identical points = %v", d)
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := Square(10)
+	if r.Width() != 10 || r.Height() != 10 || r.Area() != 100 {
+		t.Fatal("Square(10) malformed")
+	}
+	if !r.Contains(Point{5, 5}) || r.Contains(Point{11, 5}) {
+		t.Fatal("Contains wrong")
+	}
+	s := r.Shrink(2)
+	if s.MinX != 2 || s.MaxX != 8 {
+		t.Fatalf("Shrink wrong: %+v", s)
+	}
+	if d := r.BorderDist(Point{3, 5}); math.Abs(d-3) > 1e-12 {
+		t.Fatalf("BorderDist = %v, want 3", d)
+	}
+	if d := r.BorderDist(Point{-1, 5}); d != 0 {
+		t.Fatalf("BorderDist outside = %v, want 0", d)
+	}
+}
+
+func TestUniformPointsInRect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rect := Rect{MinX: -5, MinY: 3, MaxX: 5, MaxY: 13}
+	pts := UniformPoints(rng, 500, rect)
+	if len(pts) != 500 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if !rect.Contains(p) {
+			t.Fatalf("point %v outside rect", p)
+		}
+	}
+}
+
+func TestPerturbedGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rect := Square(10)
+	pts := PerturbedGrid(rng, 4, 5, rect, 0.3)
+	if len(pts) != 20 {
+		t.Fatalf("got %d points, want 20", len(pts))
+	}
+	for _, p := range pts {
+		if !rect.Contains(p) {
+			t.Fatalf("point %v escaped rect", p)
+		}
+	}
+}
+
+func TestRingPoints(t *testing.T) {
+	rect := Square(10)
+	pts := RingPoints(rect, 1.0)
+	if len(pts) < 40 {
+		t.Fatalf("ring too sparse: %d points", len(pts))
+	}
+	// Consecutive spacing (including wraparound) must respect the bound.
+	for i := range pts {
+		d := Dist(pts[i], pts[(i+1)%len(pts)])
+		if d > 1.0+1e-9 {
+			t.Fatalf("ring spacing %v exceeds bound at %d", d, i)
+		}
+	}
+	// All points on the border.
+	for _, p := range pts {
+		if rect.BorderDist(p) > 1e-9 {
+			t.Fatalf("ring point %v not on border", p)
+		}
+	}
+}
+
+func TestCirclePoints(t *testing.T) {
+	pts := CirclePoints(Point{5, 5}, 2, 8)
+	if len(pts) != 8 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if math.Abs(Dist(p, Point{5, 5})-2) > 1e-9 {
+			t.Fatalf("point %v not on circle", p)
+		}
+	}
+}
+
+func TestRcForAvgDegree(t *testing.T) {
+	// Empirical check: degree within 15% of requested for a large network.
+	rng := rand.New(rand.NewSource(3))
+	n := 2000
+	rect := Square(100)
+	rc := RcForAvgDegree(n, rect.Area(), 20)
+	pts := UniformPoints(rng, n, rect)
+	g := UDG(pts, rc)
+	avg := 2 * float64(g.NumEdges()) / float64(n)
+	if avg < 15 || avg > 25 {
+		t.Fatalf("average degree %v, want ≈20", avg)
+	}
+}
+
+func TestUDG(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 0}, {3, 0}, {3.5, 0}}
+	g := UDG(pts, 1.0)
+	if !g.HasEdge(0, 1) {
+		t.Fatal("edge {0,1} missing at distance 1.0")
+	}
+	if g.HasEdge(1, 2) {
+		t.Fatal("edge {1,2} present at distance 2.0")
+	}
+	if !g.HasEdge(2, 3) {
+		t.Fatal("edge {2,3} missing at distance 0.5")
+	}
+	if g.NumNodes() != 4 {
+		t.Fatal("isolated nodes lost")
+	}
+}
+
+func TestUDGMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := UniformPoints(rng, 60, Square(5))
+		rc := 0.5 + rng.Float64()
+		g := UDG(pts, rc)
+		for i := range pts {
+			for j := i + 1; j < len(pts); j++ {
+				want := Dist(pts[i], pts[j]) <= rc
+				if g.HasEdge(graph.NodeID(i), graph.NodeID(j)) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuasiUDG(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := UniformPoints(rng, 300, Square(10))
+	rIn, rOut := 0.8, 1.6
+	g := QuasiUDG(rng, pts, rIn, rOut, 0.5)
+	short, long, beyond := 0, 0, 0
+	shortConn, longConn := 0, 0
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			d := Dist(pts[i], pts[j])
+			has := g.HasEdge(graph.NodeID(i), graph.NodeID(j))
+			switch {
+			case d <= rIn:
+				short++
+				if has {
+					shortConn++
+				}
+			case d <= rOut:
+				long++
+				if has {
+					longConn++
+				}
+			default:
+				if has {
+					beyond++
+				}
+			}
+		}
+	}
+	if shortConn != short {
+		t.Fatalf("inner-radius pairs connected %d/%d, want all", shortConn, short)
+	}
+	if beyond != 0 {
+		t.Fatalf("%d edges beyond rOut", beyond)
+	}
+	frac := float64(longConn) / float64(long)
+	if frac < 0.35 || frac > 0.65 {
+		t.Fatalf("grey-zone connection fraction %v, want ≈0.5", frac)
+	}
+}
+
+func TestMinEnclosingCircleKnown(t *testing.T) {
+	tests := []struct {
+		name   string
+		pts    []Point
+		radius float64
+	}{
+		{"empty", nil, 0},
+		{"single", []Point{{3, 4}}, 0},
+		{"pair", []Point{{0, 0}, {2, 0}}, 1},
+		{"equilateral-ish square", []Point{{0, 0}, {2, 0}, {0, 2}, {2, 2}}, math.Sqrt2},
+		{"collinear", []Point{{0, 0}, {1, 0}, {4, 0}}, 2},
+		{"obtuse triangle", []Point{{0, 0}, {4, 0}, {1, 0.5}}, math.Sqrt(4*4+0) / 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := MinEnclosingCircle(tt.pts)
+			if math.Abs(c.R-tt.radius) > 1e-9 {
+				t.Fatalf("R = %v, want %v", c.R, tt.radius)
+			}
+			for _, p := range tt.pts {
+				if Dist(c.Center, p) > c.R+1e-9 {
+					t.Fatalf("point %v outside circle", p)
+				}
+			}
+		})
+	}
+}
+
+func TestMinEnclosingCircleProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := UniformPoints(rng, 2+rng.Intn(50), Square(10))
+		c := MinEnclosingCircle(pts)
+		// Encloses all points.
+		for _, p := range pts {
+			if Dist(c.Center, p) > c.R+1e-7 {
+				return false
+			}
+		}
+		// Not larger than the circumscribed circle of the bounding box,
+		// and at least half the maximum pairwise distance.
+		maxPair := 0.0
+		for i := range pts {
+			for j := i + 1; j < len(pts); j++ {
+				if d := Dist(pts[i], pts[j]); d > maxPair {
+					maxPair = d
+				}
+			}
+		}
+		return c.R >= maxPair/2-1e-7 && c.R <= maxPair/math.Sqrt(3)+1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUDG1600(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	pts := UniformPoints(rng, 1600, Square(40))
+	rc := RcForAvgDegree(1600, 1600, 25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		UDG(pts, rc)
+	}
+}
+
+func BenchmarkMinEnclosingCircle(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	pts := UniformPoints(rng, 1000, Square(10))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinEnclosingCircle(pts)
+	}
+}

@@ -1,0 +1,517 @@
+// Package graph provides the undirected-graph substrate used throughout the
+// repository: adjacency queries, BFS shortest-path trees, k-hop
+// neighbourhoods, connectivity, induced subgraphs and vertex deletion.
+//
+// Graphs are immutable after construction (build with a Builder; derive new
+// graphs with InducedSubgraph or DeleteVertices). Immutability keeps the
+// edge indexing stable, which the cycle-space algebra in internal/cycles
+// relies on: a cycle in graph G is a GF(2) vector over G's edge indices.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node. IDs are arbitrary non-negative integers chosen
+// by the caller; they need not be contiguous.
+type NodeID int
+
+// Edge is an undirected edge between two nodes, stored with U < V.
+type Edge struct {
+	U, V NodeID
+}
+
+// NormEdge returns the edge (u,v) normalized so that U < V.
+func NormEdge(u, v NodeID) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{U: u, V: v}
+}
+
+// Builder accumulates nodes and edges and produces an immutable Graph.
+// Adding an edge implicitly adds its endpoints. Duplicate edges and
+// self-loops are rejected at Build time via error.
+type Builder struct {
+	nodes map[NodeID]struct{}
+	edges map[Edge]struct{}
+	order []Edge // insertion order, for deterministic edge indexing
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		nodes: make(map[NodeID]struct{}),
+		edges: make(map[Edge]struct{}),
+	}
+}
+
+// AddNode adds an isolated node (no-op if present).
+func (b *Builder) AddNode(v NodeID) {
+	b.nodes[v] = struct{}{}
+}
+
+// AddEdge adds the undirected edge {u,v}, implicitly adding both endpoints.
+// Duplicate additions are no-ops. Self-loops are recorded and reported as an
+// error by Build.
+func (b *Builder) AddEdge(u, v NodeID) {
+	e := NormEdge(u, v)
+	b.nodes[u] = struct{}{}
+	b.nodes[v] = struct{}{}
+	if _, dup := b.edges[e]; dup {
+		return
+	}
+	b.edges[e] = struct{}{}
+	b.order = append(b.order, e)
+}
+
+// Build constructs the immutable Graph. It returns an error if a self-loop
+// was added.
+func (b *Builder) Build() (*Graph, error) {
+	ids := make([]NodeID, 0, len(b.nodes))
+	for v := range b.nodes {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	g := &Graph{
+		ids:  ids,
+		idx:  make(map[NodeID]int, len(ids)),
+		eidx: make(map[Edge]int, len(b.order)),
+	}
+	for i, v := range ids {
+		g.idx[v] = i
+	}
+	g.adj = make([][]int32, len(ids))
+	g.adjEdge = make([][]int32, len(ids))
+	// Deterministic edge indexing: sort edges by endpoints rather than
+	// insertion order so that logically equal graphs index identically.
+	edges := append([]Edge(nil), b.order...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	g.edges = edges
+	for i, e := range edges {
+		if e.U == e.V {
+			return nil, fmt.Errorf("graph: self-loop at node %d", e.U)
+		}
+		g.eidx[e] = i
+		ui, vi := g.idx[e.U], g.idx[e.V]
+		g.adj[ui] = append(g.adj[ui], int32(vi))
+		g.adjEdge[ui] = append(g.adjEdge[ui], int32(i))
+		g.adj[vi] = append(g.adj[vi], int32(ui))
+		g.adjEdge[vi] = append(g.adjEdge[vi], int32(i))
+	}
+	for i := range g.adj {
+		a, ae := g.adj[i], g.adjEdge[i]
+		sort.Sort(&adjPair{nbrs: a, edges: ae})
+	}
+	return g, nil
+}
+
+// adjPair sorts an adjacency list and its parallel edge-index list together.
+type adjPair struct {
+	nbrs  []int32
+	edges []int32
+}
+
+func (p *adjPair) Len() int           { return len(p.nbrs) }
+func (p *adjPair) Less(i, j int) bool { return p.nbrs[i] < p.nbrs[j] }
+func (p *adjPair) Swap(i, j int) {
+	p.nbrs[i], p.nbrs[j] = p.nbrs[j], p.nbrs[i]
+	p.edges[i], p.edges[j] = p.edges[j], p.edges[i]
+}
+
+// MustBuild is Build that panics on error; intended for tests and for
+// construction from inputs already known to be loop-free.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FromEdges builds a graph directly from an edge list plus optional isolated
+// nodes.
+func FromEdges(edges []Edge, isolated ...NodeID) (*Graph, error) {
+	b := NewBuilder()
+	for _, v := range isolated {
+		b.AddNode(v)
+	}
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Build()
+}
+
+// Graph is an immutable undirected simple graph.
+type Graph struct {
+	ids     []NodeID
+	idx     map[NodeID]int
+	adj     [][]int32 // adjacency by internal index, sorted
+	adjEdge [][]int32 // edge index parallel to adj
+	edges   []Edge
+	eidx    map[Edge]int
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.ids) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Nodes returns all node IDs in increasing order. The slice is a copy.
+func (g *Graph) Nodes() []NodeID {
+	return append([]NodeID(nil), g.ids...)
+}
+
+// HasNode reports whether v is a node of the graph.
+func (g *Graph) HasNode(v NodeID) bool {
+	_, ok := g.idx[v]
+	return ok
+}
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	_, ok := g.eidx[NormEdge(u, v)]
+	return ok
+}
+
+// EdgeIndex returns the stable index of edge {u,v} in [0, NumEdges()).
+func (g *Graph) EdgeIndex(u, v NodeID) (int, bool) {
+	i, ok := g.eidx[NormEdge(u, v)]
+	return i, ok
+}
+
+// EdgeAt returns the edge with the given index.
+func (g *Graph) EdgeAt(i int) Edge { return g.edges[i] }
+
+// Edges returns a copy of the edge list in index order.
+func (g *Graph) Edges() []Edge {
+	return append([]Edge(nil), g.edges...)
+}
+
+// Degree returns the degree of v (0 if v is not in the graph).
+func (g *Graph) Degree(v NodeID) int {
+	i, ok := g.idx[v]
+	if !ok {
+		return 0
+	}
+	return len(g.adj[i])
+}
+
+// Neighbors returns the neighbours of v in increasing ID order. The slice is
+// a copy. Returns nil if v is not in the graph.
+func (g *Graph) Neighbors(v NodeID) []NodeID {
+	i, ok := g.idx[v]
+	if !ok {
+		return nil
+	}
+	out := make([]NodeID, len(g.adj[i]))
+	for j, w := range g.adj[i] {
+		out[j] = g.ids[w]
+	}
+	return out
+}
+
+// internalIndex returns the dense index of v, panicking if absent. Reserved
+// for internal callers that have already validated membership.
+func (g *Graph) internalIndex(v NodeID) int {
+	i, ok := g.idx[v]
+	if !ok {
+		panic(fmt.Sprintf("graph: node %d not in graph", v))
+	}
+	return i
+}
+
+// BFSTree holds a breadth-first shortest-path tree rooted at Root. Parent
+// and Depth are indexed by internal node index; unreachable nodes have
+// Depth -1.
+type BFSTree struct {
+	g      *Graph
+	Root   NodeID
+	parent []int32
+	depth  []int32
+}
+
+// BFS computes a shortest-path tree from root, visiting neighbours in
+// increasing ID order (deterministic). maxDepth < 0 means unbounded.
+func (g *Graph) BFS(root NodeID, maxDepth int) *BFSTree {
+	r := g.internalIndex(root)
+	t := &BFSTree{
+		g:      g,
+		Root:   root,
+		parent: make([]int32, len(g.ids)),
+		depth:  make([]int32, len(g.ids)),
+	}
+	for i := range t.depth {
+		t.depth[i] = -1
+		t.parent[i] = -1
+	}
+	t.depth[r] = 0
+	queue := make([]int32, 0, len(g.ids))
+	queue = append(queue, int32(r))
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if maxDepth >= 0 && int(t.depth[u]) >= maxDepth {
+			continue
+		}
+		for _, w := range g.adj[u] {
+			if t.depth[w] < 0 {
+				t.depth[w] = t.depth[u] + 1
+				t.parent[w] = u
+				queue = append(queue, w)
+			}
+		}
+	}
+	return t
+}
+
+// Depth returns the BFS depth of v, or -1 if unreachable (or outside the
+// explored horizon).
+func (t *BFSTree) Depth(v NodeID) int {
+	i, ok := t.g.idx[v]
+	if !ok {
+		return -1
+	}
+	return int(t.depth[i])
+}
+
+// Parent returns the BFS parent of v and true, or 0,false for the root and
+// unreachable nodes.
+func (t *BFSTree) Parent(v NodeID) (NodeID, bool) {
+	i, ok := t.g.idx[v]
+	if !ok || t.parent[i] < 0 {
+		return 0, false
+	}
+	return t.g.ids[t.parent[i]], true
+}
+
+// PathToRoot returns the node sequence v, parent(v), ..., root. Returns nil
+// if v is unreachable.
+func (t *BFSTree) PathToRoot(v NodeID) []NodeID {
+	i, ok := t.g.idx[v]
+	if !ok || t.depth[i] < 0 {
+		return nil
+	}
+	path := make([]NodeID, 0, t.depth[i]+1)
+	for i >= 0 {
+		path = append(path, t.g.ids[i])
+		i = int(t.parent[i])
+	}
+	return path
+}
+
+// LCA returns the lowest common ancestor of u and v in the tree, or false if
+// either is unreachable.
+func (t *BFSTree) LCA(u, v NodeID) (NodeID, bool) {
+	ui, uok := t.g.idx[u]
+	vi, vok := t.g.idx[v]
+	if !uok || !vok || t.depth[ui] < 0 || t.depth[vi] < 0 {
+		return 0, false
+	}
+	a, b := int32(ui), int32(vi)
+	for t.depth[a] > t.depth[b] {
+		a = t.parent[a]
+	}
+	for t.depth[b] > t.depth[a] {
+		b = t.parent[b]
+	}
+	for a != b {
+		a = t.parent[a]
+		b = t.parent[b]
+	}
+	return t.g.ids[a], true
+}
+
+// KHopNeighbors returns all nodes within k hops of v, excluding v itself,
+// in increasing ID order.
+func (g *Graph) KHopNeighbors(v NodeID, k int) []NodeID {
+	if k <= 0 || !g.HasNode(v) {
+		return nil
+	}
+	t := g.BFS(v, k)
+	out := make([]NodeID, 0, 16)
+	for i, d := range t.depth {
+		if d > 0 {
+			out = append(out, g.ids[i])
+		}
+	}
+	return out
+}
+
+// InducedSubgraph returns the subgraph induced by the given node set. Nodes
+// absent from g are ignored. Edge indices of the result are independent of
+// g's.
+func (g *Graph) InducedSubgraph(nodes []NodeID) *Graph {
+	in := make(map[NodeID]struct{}, len(nodes))
+	b := NewBuilder()
+	for _, v := range nodes {
+		if g.HasNode(v) {
+			in[v] = struct{}{}
+			b.AddNode(v)
+		}
+	}
+	for _, e := range g.edges {
+		if _, ok := in[e.U]; !ok {
+			continue
+		}
+		if _, ok := in[e.V]; !ok {
+			continue
+		}
+		b.AddEdge(e.U, e.V)
+	}
+	return b.MustBuild()
+}
+
+// DeleteVertices returns a new graph with the given vertices (and their
+// incident edges) removed.
+func (g *Graph) DeleteVertices(del []NodeID) *Graph {
+	drop := make(map[NodeID]struct{}, len(del))
+	for _, v := range del {
+		drop[v] = struct{}{}
+	}
+	b := NewBuilder()
+	for _, v := range g.ids {
+		if _, gone := drop[v]; !gone {
+			b.AddNode(v)
+		}
+	}
+	for _, e := range g.edges {
+		if _, gone := drop[e.U]; gone {
+			continue
+		}
+		if _, gone := drop[e.V]; gone {
+			continue
+		}
+		b.AddEdge(e.U, e.V)
+	}
+	return b.MustBuild()
+}
+
+// DeleteEdges returns a new graph with the given edges removed (endpoints
+// retained).
+func (g *Graph) DeleteEdges(del []Edge) *Graph {
+	drop := make(map[Edge]struct{}, len(del))
+	for _, e := range del {
+		drop[NormEdge(e.U, e.V)] = struct{}{}
+	}
+	b := NewBuilder()
+	for _, v := range g.ids {
+		b.AddNode(v)
+	}
+	for _, e := range g.edges {
+		if _, gone := drop[e]; gone {
+			continue
+		}
+		b.AddEdge(e.U, e.V)
+	}
+	return b.MustBuild()
+}
+
+// IsConnected reports whether the graph is connected. The empty graph and
+// single-node graphs are connected.
+func (g *Graph) IsConnected() bool {
+	if len(g.ids) <= 1 {
+		return true
+	}
+	t := g.BFS(g.ids[0], -1)
+	for _, d := range t.depth {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ConnectedComponents returns the node sets of all connected components,
+// each sorted, ordered by their smallest node ID.
+func (g *Graph) ConnectedComponents() [][]NodeID {
+	seen := make([]bool, len(g.ids))
+	var comps [][]NodeID
+	for i := range g.ids {
+		if seen[i] {
+			continue
+		}
+		var comp []NodeID
+		stack := []int32{int32(i)}
+		seen[i] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, g.ids[u])
+			for _, w := range g.adj[u] {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		sort.Slice(comp, func(a, b int) bool { return comp[a] < comp[b] })
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// NumComponents returns the number of connected components.
+func (g *Graph) NumComponents() int { return len(g.ConnectedComponents()) }
+
+// CycleSpaceDim returns the dimension of the graph's cycle space,
+// ν = m − n + c.
+func (g *Graph) CycleSpaceDim() int {
+	return g.NumEdges() - g.NumNodes() + g.NumComponents()
+}
+
+// TwoCore returns the subgraph obtained by repeatedly deleting vertices of
+// degree < 2. The 2-core carries the entire cycle space of the graph, so
+// cycle computations may be restricted to it.
+func (g *Graph) TwoCore() *Graph {
+	deg := make([]int, len(g.ids))
+	alive := make([]bool, len(g.ids))
+	for i := range g.ids {
+		deg[i] = len(g.adj[i])
+		alive[i] = true
+	}
+	queue := make([]int32, 0)
+	for i := range g.ids {
+		if deg[i] < 2 {
+			queue = append(queue, int32(i))
+			alive[i] = false
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, w := range g.adj[u] {
+			if alive[w] {
+				deg[w]--
+				if deg[w] < 2 {
+					alive[w] = false
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	keep := make([]NodeID, 0, len(g.ids))
+	for i, ok := range alive {
+		if ok {
+			keep = append(keep, g.ids[i])
+		}
+	}
+	return g.InducedSubgraph(keep)
+}
+
+// ShortestPathLen returns the hop distance between u and v, or -1 if
+// disconnected.
+func (g *Graph) ShortestPathLen(u, v NodeID) int {
+	if !g.HasNode(u) || !g.HasNode(v) {
+		return -1
+	}
+	return g.BFS(u, -1).Depth(v)
+}

@@ -1,0 +1,416 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder()
+	b.AddEdge(3, 1)
+	b.AddEdge(1, 3) // duplicate, reversed
+	b.AddEdge(1, 2)
+	b.AddNode(7)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d, want 4", g.NumNodes())
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if !g.HasEdge(3, 1) || !g.HasEdge(1, 3) {
+		t.Fatal("edge {1,3} missing")
+	}
+	if g.HasEdge(2, 3) {
+		t.Fatal("phantom edge {2,3}")
+	}
+	if got := g.Nodes(); !reflect.DeepEqual(got, []NodeID{1, 2, 3, 7}) {
+		t.Fatalf("Nodes = %v", got)
+	}
+	if got := g.Neighbors(1); !reflect.DeepEqual(got, []NodeID{2, 3}) {
+		t.Fatalf("Neighbors(1) = %v", got)
+	}
+	if g.Degree(7) != 0 {
+		t.Fatalf("Degree(7) = %d, want 0", g.Degree(7))
+	}
+	if g.Degree(100) != 0 {
+		t.Fatalf("Degree of absent node = %d, want 0", g.Degree(100))
+	}
+}
+
+func TestBuilderSelfLoop(t *testing.T) {
+	b := NewBuilder()
+	b.AddEdge(5, 5)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("self-loop not rejected")
+	}
+}
+
+func TestEdgeIndexingStable(t *testing.T) {
+	// Two builders adding the same edges in different orders must produce
+	// identical edge indexing.
+	b1 := NewBuilder()
+	b1.AddEdge(0, 1)
+	b1.AddEdge(1, 2)
+	b1.AddEdge(0, 2)
+	b2 := NewBuilder()
+	b2.AddEdge(0, 2)
+	b2.AddEdge(1, 2)
+	b2.AddEdge(0, 1)
+	g1, g2 := b1.MustBuild(), b2.MustBuild()
+	for i := 0; i < g1.NumEdges(); i++ {
+		if g1.EdgeAt(i) != g2.EdgeAt(i) {
+			t.Fatalf("edge %d differs: %v vs %v", i, g1.EdgeAt(i), g2.EdgeAt(i))
+		}
+	}
+}
+
+func TestEdgeIndexRoundTrip(t *testing.T) {
+	g := Complete(5)
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.EdgeAt(i)
+		j, ok := g.EdgeIndex(e.V, e.U) // reversed on purpose
+		if !ok || j != i {
+			t.Fatalf("EdgeIndex(%v) = %d,%v want %d", e, j, ok, i)
+		}
+	}
+	if _, ok := g.EdgeIndex(0, 100); ok {
+		t.Fatal("EdgeIndex of absent edge reported ok")
+	}
+}
+
+func TestBFSDepths(t *testing.T) {
+	g := Path(5)
+	tree := g.BFS(0, -1)
+	for i := 0; i < 5; i++ {
+		if d := tree.Depth(NodeID(i)); d != i {
+			t.Fatalf("Depth(%d) = %d, want %d", i, d, i)
+		}
+	}
+	if _, ok := tree.Parent(0); ok {
+		t.Fatal("root has a parent")
+	}
+	p, ok := tree.Parent(3)
+	if !ok || p != 2 {
+		t.Fatalf("Parent(3) = %d,%v want 2", p, ok)
+	}
+	if path := tree.PathToRoot(4); !reflect.DeepEqual(path, []NodeID{4, 3, 2, 1, 0}) {
+		t.Fatalf("PathToRoot(4) = %v", path)
+	}
+}
+
+func TestBFSMaxDepth(t *testing.T) {
+	g := Path(10)
+	tree := g.BFS(0, 3)
+	if d := tree.Depth(3); d != 3 {
+		t.Fatalf("Depth(3) = %d, want 3", d)
+	}
+	if d := tree.Depth(4); d != -1 {
+		t.Fatalf("Depth(4) = %d, want -1 (beyond horizon)", d)
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	g, err := FromEdges([]Edge{{0, 1}}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := g.BFS(0, -1)
+	if tree.Depth(5) != -1 {
+		t.Fatal("unreachable node has non-negative depth")
+	}
+	if tree.PathToRoot(5) != nil {
+		t.Fatal("PathToRoot of unreachable node not nil")
+	}
+}
+
+func TestLCA(t *testing.T) {
+	//      0
+	//     / \
+	//    1   2
+	//   / \   \
+	//  3   4   5
+	g, err := FromEdges([]Edge{{0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := g.BFS(0, -1)
+	tests := []struct {
+		u, v, want NodeID
+	}{
+		{3, 4, 1},
+		{3, 5, 0},
+		{1, 4, 1},
+		{0, 5, 0},
+		{3, 3, 3},
+	}
+	for _, tt := range tests {
+		got, ok := tree.LCA(tt.u, tt.v)
+		if !ok || got != tt.want {
+			t.Fatalf("LCA(%d,%d) = %d,%v want %d", tt.u, tt.v, got, ok, tt.want)
+		}
+	}
+}
+
+func TestKHopNeighbors(t *testing.T) {
+	g := Path(7)
+	got := g.KHopNeighbors(3, 2)
+	want := []NodeID{1, 2, 4, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("KHopNeighbors(3,2) = %v, want %v", got, want)
+	}
+	if g.KHopNeighbors(3, 0) != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	// k-hop neighbours never include the centre.
+	for _, v := range g.KHopNeighbors(3, 6) {
+		if v == 3 {
+			t.Fatal("centre included in its own k-hop neighbourhood")
+		}
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Complete(5)
+	sub := g.InducedSubgraph([]NodeID{0, 1, 2, 99}) // 99 ignored
+	if sub.NumNodes() != 3 || sub.NumEdges() != 3 {
+		t.Fatalf("induced K3: n=%d m=%d", sub.NumNodes(), sub.NumEdges())
+	}
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(1, 2) || !sub.HasEdge(0, 2) {
+		t.Fatal("induced subgraph missing edges")
+	}
+}
+
+func TestDeleteVertices(t *testing.T) {
+	g := Cycle(5)
+	h := g.DeleteVertices([]NodeID{2})
+	if h.NumNodes() != 4 || h.NumEdges() != 3 {
+		t.Fatalf("after delete: n=%d m=%d, want 4,3", h.NumNodes(), h.NumEdges())
+	}
+	if h.HasNode(2) {
+		t.Fatal("deleted node still present")
+	}
+	if h.HasEdge(1, 2) || h.HasEdge(2, 3) {
+		t.Fatal("incident edge survived vertex deletion")
+	}
+	// Original graph untouched.
+	if !g.HasNode(2) || g.NumEdges() != 5 {
+		t.Fatal("DeleteVertices mutated the receiver")
+	}
+}
+
+func TestDeleteEdges(t *testing.T) {
+	g := Cycle(4)
+	h := g.DeleteEdges([]Edge{{1, 0}}) // reversed endpoints on purpose
+	if h.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", h.NumEdges())
+	}
+	if h.NumNodes() != 4 {
+		t.Fatal("endpoints dropped by edge deletion")
+	}
+	if h.HasEdge(0, 1) {
+		t.Fatal("deleted edge still present")
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	tests := []struct {
+		name  string
+		g     *Graph
+		conn  bool
+		comps int
+	}{
+		{"empty", NewBuilder().MustBuild(), true, 0},
+		{"single", Path(1), true, 1},
+		{"path", Path(4), true, 1},
+		{"two components", func() *Graph {
+			g, _ := FromEdges([]Edge{{0, 1}, {2, 3}})
+			return g
+		}(), false, 2},
+		{"isolated node", func() *Graph {
+			g, _ := FromEdges([]Edge{{0, 1}}, 9)
+			return g
+		}(), false, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.g.IsConnected(); got != tt.conn {
+				t.Fatalf("IsConnected = %v, want %v", got, tt.conn)
+			}
+			if got := tt.g.NumComponents(); got != tt.comps {
+				t.Fatalf("NumComponents = %d, want %d", got, tt.comps)
+			}
+		})
+	}
+}
+
+func TestConnectedComponentsContents(t *testing.T) {
+	g, err := FromEdges([]Edge{{4, 5}, {0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := g.ConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("got %d components", len(comps))
+	}
+	if !reflect.DeepEqual(comps[0], []NodeID{0, 1, 2}) {
+		t.Fatalf("comps[0] = %v", comps[0])
+	}
+	if !reflect.DeepEqual(comps[1], []NodeID{4, 5}) {
+		t.Fatalf("comps[1] = %v", comps[1])
+	}
+}
+
+func TestCycleSpaceDim(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"tree", Path(10), 0},
+		{"cycle", Cycle(6), 1},
+		{"K4", Complete(4), 3},
+		{"K5", Complete(5), 6},
+		{"grid 3x3", Grid(3, 3), 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.g.CycleSpaceDim(); got != tt.want {
+				t.Fatalf("CycleSpaceDim = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTwoCore(t *testing.T) {
+	// Cycle with a pendant path attached: the 2-core is exactly the cycle.
+	b := NewBuilder()
+	for i := 0; i < 4; i++ {
+		b.AddEdge(NodeID(i), NodeID((i+1)%4))
+	}
+	b.AddEdge(0, 10)
+	b.AddEdge(10, 11)
+	g := b.MustBuild()
+	core := g.TwoCore()
+	if core.NumNodes() != 4 || core.NumEdges() != 4 {
+		t.Fatalf("2-core: n=%d m=%d, want 4,4", core.NumNodes(), core.NumEdges())
+	}
+	if core.HasNode(10) || core.HasNode(11) {
+		t.Fatal("pendant nodes survive 2-core")
+	}
+	// A tree's 2-core is empty.
+	if tc := Path(8).TwoCore(); tc.NumNodes() != 0 {
+		t.Fatalf("tree 2-core has %d nodes", tc.NumNodes())
+	}
+}
+
+func TestTwoCorePreservesCycleSpaceDim(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(rand.New(rand.NewSource(seed)), 20, 0.15)
+		return g.CycleSpaceDim() == g.TwoCore().CycleSpaceDim()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortestPathLen(t *testing.T) {
+	g := Grid(3, 4)
+	if d := g.ShortestPathLen(0, 11); d != 5 {
+		t.Fatalf("d(0,11) = %d, want 5", d)
+	}
+	if d := g.ShortestPathLen(0, 0); d != 0 {
+		t.Fatalf("d(0,0) = %d, want 0", d)
+	}
+	h, _ := FromEdges([]Edge{{0, 1}}, 5)
+	if d := h.ShortestPathLen(0, 5); d != -1 {
+		t.Fatalf("disconnected distance = %d, want -1", d)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	if g := Path(1); g.NumNodes() != 1 || g.NumEdges() != 0 {
+		t.Fatal("Path(1) malformed")
+	}
+	if g := Cycle(3); g.NumEdges() != 3 {
+		t.Fatal("Cycle(3) malformed")
+	}
+	if g := Complete(6); g.NumEdges() != 15 {
+		t.Fatal("K6 malformed")
+	}
+	if g := Grid(2, 2); g.NumEdges() != 4 {
+		t.Fatal("Grid(2,2) malformed")
+	}
+	if g := TriangulatedGrid(2, 2); g.NumEdges() != 5 {
+		t.Fatalf("TriangulatedGrid(2,2) has %d edges, want 5", g.NumEdges())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Cycle(2) did not panic")
+			}
+		}()
+		Cycle(2)
+	}()
+}
+
+// randomGraph returns a G(n,p) random graph.
+func randomGraph(r *rand.Rand, n int, p float64) *Graph {
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(NodeID(i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				b.AddEdge(NodeID(i), NodeID(j))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestRandomGraphInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 30, 0.1)
+		// Handshake lemma.
+		sum := 0
+		for _, v := range g.Nodes() {
+			sum += g.Degree(v)
+		}
+		if sum != 2*g.NumEdges() {
+			return false
+		}
+		// Components partition the node set.
+		total := 0
+		for _, c := range g.ConnectedComponents() {
+			total += len(c)
+		}
+		return total == g.NumNodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBFS1600(b *testing.B) {
+	g := Grid(40, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BFS(0, -1)
+	}
+}
+
+func BenchmarkKHop(b *testing.B) {
+	g := TriangulatedGrid(40, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.KHopNeighbors(820, 3)
+	}
+}

@@ -1,0 +1,199 @@
+package hgc
+
+import (
+	"math/rand"
+	"testing"
+
+	"dcc/internal/core"
+	"dcc/internal/cycles"
+	"dcc/internal/geom"
+	"dcc/internal/graph"
+	"dcc/internal/nets"
+)
+
+func TestVerifyKnownGraphs(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want bool
+	}{
+		{"filled triangle", graph.Complete(3), true},
+		{"hollow hexagon", graph.Cycle(6), false},
+		{"triangulated grid", graph.TriangulatedGrid(5, 5), true},
+		{"plain grid", graph.Grid(4, 4), false},
+		{"K5", graph.Complete(5), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Verify(tt.g, nil); got != tt.want {
+				t.Fatalf("Verify = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+// TestVerifyMobiusFalsePositive is the paper's Figure 1: the möbius
+// network is fully covered (its boundary is 3-partitionable, accepted by
+// DCC), but the homology criterion reports a hole.
+func TestVerifyMobiusFalsePositive(t *testing.T) {
+	g, _, boundary := nets.Mobius()
+	if Verify(g, nil) {
+		t.Fatal("HGC should report a (phantom) hole on the möbius network")
+	}
+	outer, err := cycles.FromVertices(g, boundary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cycles.Partitionable(g, outer.Vector(g.NumEdges()), 3) {
+		t.Fatal("DCC criterion should accept the möbius network")
+	}
+}
+
+func TestVerifyConedInnerBoundary(t *testing.T) {
+	// Carved triangulated grid (hexagonal hole around node 14): absolute
+	// H1 is non-trivial, but coning the declared inner boundary makes the
+	// criterion pass.
+	g := graph.TriangulatedGrid(6, 6).DeleteVertices([]graph.NodeID{14})
+	if Verify(g, nil) {
+		t.Fatal("hole not detected")
+	}
+	inner := [][]graph.NodeID{{7, 8, 15, 21, 20, 13}}
+	if !Verify(g, inner) {
+		t.Fatal("declared inner boundary not accepted after coning")
+	}
+}
+
+// denseNet mirrors the construction in the core tests.
+func denseNet(t *testing.T, seed int64, rows, cols int, radius float64) core.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	rect := geom.Rect{MaxX: float64(cols), MaxY: float64(rows)}
+	pts := geom.PerturbedGrid(rng, rows, cols, rect, 0.15)
+	g := geom.UDG(pts, radius)
+	if !g.IsConnected() {
+		t.Fatal("test network disconnected")
+	}
+	var order []graph.NodeID
+	for c := 0; c < cols; c++ {
+		order = append(order, graph.NodeID(c))
+	}
+	for r := 1; r < rows; r++ {
+		order = append(order, graph.NodeID(r*cols+cols-1))
+	}
+	for c := cols - 2; c >= 0; c-- {
+		order = append(order, graph.NodeID((rows-1)*cols+c))
+	}
+	for r := rows - 2; r >= 1; r-- {
+		order = append(order, graph.NodeID(r*cols))
+	}
+	b := make(map[graph.NodeID]bool, len(order))
+	for _, v := range order {
+		b[v] = true
+	}
+	net := core.Network{G: g, Boundary: b, BoundaryCycles: [][]graph.NodeID{order}}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestScheduleProducesVerifiedSet(t *testing.T) {
+	net := denseNet(t, 80, 7, 7, 1.9)
+	res, err := Schedule(net, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HomologyOK {
+		t.Fatal("scheduled set fails homology verification")
+	}
+	if len(res.Deleted) == 0 {
+		t.Fatal("no deletions on a dense network")
+	}
+	// Boundary preserved.
+	for v := range net.Boundary {
+		if !res.Final.HasNode(v) {
+			t.Fatalf("boundary node %d deleted", v)
+		}
+	}
+}
+
+func TestScheduleExactSmall(t *testing.T) {
+	net := denseNet(t, 81, 5, 5, 1.9)
+	res, err := ScheduleExact(net, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HomologyOK {
+		t.Fatal("exact scheduler returned unverified set")
+	}
+	// Exhaustive: no further single deletion can preserve the criterion.
+	for _, v := range res.KeptInternal {
+		if Verify(res.Final.DeleteVertices([]graph.NodeID{v}), nil) {
+			t.Fatalf("node %d still deletable under the homology criterion", v)
+		}
+	}
+}
+
+func TestScheduleVsExactComparable(t *testing.T) {
+	net := denseNet(t, 82, 5, 5, 1.9)
+	fast, err := Schedule(net, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ScheduleExact(net, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf, ne := len(fast.KeptInternal), len(exact.KeptInternal)
+	if ne == 0 {
+		t.Skip("degenerate exact result")
+	}
+	ratio := float64(nf) / float64(ne)
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("pattern scheduler kept %d vs exact %d", nf, ne)
+	}
+}
+
+func TestScheduleExactRejectsUncoveredInput(t *testing.T) {
+	// A hollow grid fails the homology criterion up front.
+	g := graph.Grid(4, 4)
+	var order []graph.NodeID
+	for c := 0; c < 4; c++ {
+		order = append(order, graph.NodeID(c))
+	}
+	for r := 1; r < 4; r++ {
+		order = append(order, graph.NodeID(r*4+3))
+	}
+	for c := 2; c >= 0; c-- {
+		order = append(order, graph.NodeID(12+c))
+	}
+	for r := 2; r >= 1; r-- {
+		order = append(order, graph.NodeID(r*4))
+	}
+	b := make(map[graph.NodeID]bool)
+	for _, v := range order {
+		b[v] = true
+	}
+	net := core.Network{G: g, Boundary: b, BoundaryCycles: [][]graph.NodeID{order}}
+	if _, err := ScheduleExact(net, Options{}); err == nil {
+		t.Fatal("hollow grid accepted by exact HGC")
+	}
+}
+
+// TestHGCKeepsMoreThanLargerTau is the motivation for Figure 4: HGC is
+// stuck at triangle granularity, so a τ=5 DCC schedule on the same network
+// retains no more (and typically fewer) nodes.
+func TestHGCKeepsMoreThanLargerTau(t *testing.T) {
+	net := denseNet(t, 83, 8, 8, 1.9)
+	hgcRes, err := Schedule(net, Options{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dccRes, err := core.Schedule(net, core.Options{Tau: 5, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dccRes.KeptInternal) > len(hgcRes.KeptInternal) {
+		t.Fatalf("DCC τ=5 kept %d > HGC %d", len(dccRes.KeptInternal), len(hgcRes.KeptInternal))
+	}
+}

@@ -1,0 +1,78 @@
+package nets
+
+import (
+	"testing"
+
+	"dcc/internal/cycles"
+	"dcc/internal/graph"
+)
+
+// TestMobiusSeparatesCriteria reproduces the heart of the paper's Figure 1:
+// the möbius-band network is correctly certified by the cycle-partition
+// criterion (the outer boundary is 3-partitionable) while the
+// homology-group criterion fails (H1 is non-trivial, same homology type as
+// a circle).
+func TestMobiusSeparatesCriteria(t *testing.T) {
+	g, k, boundary := Mobius()
+
+	if g.NumNodes() != 12 {
+		t.Fatalf("nodes = %d, want 12", g.NumNodes())
+	}
+	if g.NumEdges() != 28 {
+		t.Fatalf("edges = %d, want 28", g.NumEdges())
+	}
+	if k.NumTriangles() != 16 {
+		t.Fatalf("triangles = %d, want 16", k.NumTriangles())
+	}
+
+	// Homology criterion: H1 has the homology type of a circle.
+	if got := k.H1Rank(); got != 1 {
+		t.Fatalf("H1 rank = %d, want 1 (möbius core circle)", got)
+	}
+
+	// Cycle-partition criterion: outer boundary is the sum of all triangles.
+	outer, err := cycles.FromVertices(g, boundary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tris []cycles.Cycle
+	for _, tr := range k.Triangles() {
+		c, err := cycles.FromVertices(g, []graph.NodeID{tr.A, tr.B, tr.C})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tris = append(tris, c)
+	}
+	if !cycles.Sum(g.NumEdges(), tris...).Equal(outer.Vector(g.NumEdges())) {
+		t.Fatal("outer boundary is not the sum of all triangles")
+	}
+	if !cycles.Partitionable(g, outer.Vector(g.NumEdges()), 3) {
+		t.Fatal("outer boundary not 3-partitionable")
+	}
+
+	// The homology criterion fails even RELATIVE to the outer fence: the
+	// core circle is not null-homologous.
+	if k.H1TrivialRelative(boundary) {
+		t.Fatal("relative H1 should be non-trivial for the möbius band")
+	}
+}
+
+func TestMinimalMobius(t *testing.T) {
+	g, k, boundary := MinimalMobius()
+	if k.NumTriangles() != 5 {
+		t.Fatalf("triangles = %d, want 5", k.NumTriangles())
+	}
+	if got := k.H1Rank(); got != 1 {
+		t.Fatalf("H1 rank = %d, want 1", got)
+	}
+	outer, err := cycles.FromVertices(g, boundary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outer.Len() != 5 {
+		t.Fatalf("boundary length = %d, want 5", outer.Len())
+	}
+	if !cycles.Partitionable(g, outer.Vector(g.NumEdges()), 3) {
+		t.Fatal("minimal möbius boundary not 3-partitionable")
+	}
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("StdDev of singleton != 0")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.138) > 0.01 {
+		t.Fatalf("StdDev = %v, want ≈2.138", got)
+	}
+}
+
+func TestStdErr(t *testing.T) {
+	if StdErr(nil) != 0 {
+		t.Fatal("StdErr(nil) != 0")
+	}
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	want := StdDev(xs) / 3
+	if got := StdErr(xs); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("StdErr = %v, want %v", got, want)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	tests := []struct {
+		x, want float64
+	}{
+		{0.5, 0},
+		{1, 0.25},
+		{2, 0.75},
+		{2.5, 0.75},
+		{3, 1},
+		{10, 1},
+	}
+	for _, tt := range tests {
+		if got := c.At(tt.x); math.Abs(got-tt.want) > 1e-12 {
+			t.Fatalf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if q := c.Quantile(0); q != 1 {
+		t.Fatalf("Quantile(0) = %v", q)
+	}
+	if q := c.Quantile(1); q != 3 {
+		t.Fatalf("Quantile(1) = %v", q)
+	}
+	if q := c.Quantile(0.5); q != 2 {
+		t.Fatalf("Quantile(0.5) = %v", q)
+	}
+	empty := NewCDF(nil)
+	if empty.At(1) != 0 {
+		t.Fatal("empty CDF At != 0")
+	}
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Fatal("empty CDF quantile not NaN")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table("tau",
+		Series{Name: "dcc", X: []float64{3, 4}, Y: []float64{1.0, 0.8}},
+		Series{Name: "hgc", X: []float64{3, 4}, Y: []float64{1.0, 1.0}},
+	)
+	if !strings.Contains(out, "tau") || !strings.Contains(out, "dcc") {
+		t.Fatalf("table missing headers:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table has %d lines, want 3:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "0.8000") && !strings.Contains(lines[2], "0.8000") {
+		t.Fatalf("missing value:\n%s", out)
+	}
+}
+
+func TestTableRaggedSeries(t *testing.T) {
+	out := Table("x",
+		Series{Name: "a", X: []float64{1, 2}, Y: []float64{9, 8}},
+		Series{Name: "b", X: []float64{1, 2}, Y: []float64{7}},
+	)
+	if !strings.Contains(out, "-") {
+		t.Fatalf("ragged series not padded:\n%s", out)
+	}
+}

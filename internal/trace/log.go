@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dcc/internal/geom"
+	"dcc/internal/graph"
+)
+
+// Packet-log format. The paper's pipeline starts from raw GreenOrbs packet
+// logs; this file defines the equivalent textual log for the synthetic
+// trace so the accumulate→threshold→extract pipeline can also run from a
+// file, exactly as it would from a real deployment's data.
+//
+//	# greenorbs-sim v1 nodes=<total> interior=<interior> epochs=<epochs>
+//	ring <id> <id> ...
+//	pos <id> <x> <y>            (optional; simulation ground truth)
+//	pkt <epoch> <src> <peer>:<rssi> <peer>:<rssi> ...
+//
+// RSSI values are dBm with one decimal. Unknown directives are rejected:
+// a coverage deployment should fail loudly on malformed observations.
+
+// logVersion is the current log format version string.
+const logVersion = "greenorbs-sim v1"
+
+// ErrBadLog is wrapped by all log-parsing errors.
+var ErrBadLog = errors.New("trace: malformed packet log")
+
+// GenerateWithLog is Generate that additionally streams every packet to w
+// as it is produced.
+func GenerateWithLog(cfg Config, w io.Writer) (*Trace, error) {
+	cfg = cfg.ApplyDefaults()
+	tr := generate(cfg, w)
+	if tr.logErr != nil {
+		return nil, tr.logErr
+	}
+	return tr, nil
+}
+
+// WriteHeader emits the log preamble for a trace (metadata, ring, node
+// positions). Used by GenerateWithLog before the packet stream.
+func writeHeader(w io.Writer, cfg Config, t *Trace) error {
+	if _, err := fmt.Fprintf(w, "# %s nodes=%d interior=%d epochs=%d\n",
+		logVersion, len(t.Pts), cfg.InteriorNodes, cfg.Epochs); err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("ring")
+	for _, v := range t.Ring {
+		fmt.Fprintf(&b, " %d", v)
+	}
+	b.WriteByte('\n')
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	for i, p := range t.Pts {
+		if _, err := fmt.Fprintf(w, "pos %d %.3f %.3f\n", i, p.X, p.Y); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseLog reconstructs a Trace from a packet log: records are accumulated
+// exactly as Generate does in memory, so UndirectedEdges, thresholds and
+// Network all work on the result.
+func ParseLog(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+
+	t := &Trace{
+		rssiSum: make(map[[2]graph.NodeID]float64),
+		rssiN:   make(map[[2]graph.NodeID]int),
+	}
+	total := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "#":
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+			if !strings.HasPrefix(rest, logVersion) {
+				return nil, fmt.Errorf("%w: line %d: unsupported version %q", ErrBadLog, lineNo, rest)
+			}
+			for _, kv := range strings.Fields(strings.TrimPrefix(rest, logVersion)) {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fmt.Errorf("%w: line %d: bad header field %q", ErrBadLog, lineNo, kv)
+				}
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return nil, fmt.Errorf("%w: line %d: %v", ErrBadLog, lineNo, err)
+				}
+				switch k {
+				case "nodes":
+					total = n
+					t.Pts = make([]geom.Point, n)
+				case "interior", "epochs":
+					// informational
+				default:
+					return nil, fmt.Errorf("%w: line %d: unknown header key %q", ErrBadLog, lineNo, k)
+				}
+			}
+		case "ring":
+			for _, f := range fields[1:] {
+				id, err := parseID(f, total)
+				if err != nil {
+					return nil, fmt.Errorf("%w: line %d: %v", ErrBadLog, lineNo, err)
+				}
+				t.Ring = append(t.Ring, id)
+			}
+		case "pos":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("%w: line %d: pos needs 3 arguments", ErrBadLog, lineNo)
+			}
+			id, err := parseID(fields[1], total)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrBadLog, lineNo, err)
+			}
+			x, errX := strconv.ParseFloat(fields[2], 64)
+			y, errY := strconv.ParseFloat(fields[3], 64)
+			if errX != nil || errY != nil {
+				return nil, fmt.Errorf("%w: line %d: bad coordinates", ErrBadLog, lineNo)
+			}
+			if int(id) < len(t.Pts) {
+				t.Pts[id] = geom.Point{X: x, Y: y}
+			}
+		case "pkt":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("%w: line %d: pkt needs epoch and source", ErrBadLog, lineNo)
+			}
+			if _, err := strconv.Atoi(fields[1]); err != nil {
+				return nil, fmt.Errorf("%w: line %d: bad epoch: %v", ErrBadLog, lineNo, err)
+			}
+			src, err := parseID(fields[2], total)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrBadLog, lineNo, err)
+			}
+			for _, rec := range fields[3:] {
+				peerStr, rssiStr, ok := strings.Cut(rec, ":")
+				if !ok {
+					return nil, fmt.Errorf("%w: line %d: bad record %q", ErrBadLog, lineNo, rec)
+				}
+				peer, err := parseID(peerStr, total)
+				if err != nil {
+					return nil, fmt.Errorf("%w: line %d: %v", ErrBadLog, lineNo, err)
+				}
+				rssi, err := strconv.ParseFloat(rssiStr, 64)
+				if err != nil {
+					return nil, fmt.Errorf("%w: line %d: bad rssi %q", ErrBadLog, lineNo, rssiStr)
+				}
+				key := [2]graph.NodeID{src, peer}
+				t.rssiSum[key] += rssi
+				t.rssiN[key]++
+			}
+		default:
+			return nil, fmt.Errorf("%w: line %d: unknown directive %q", ErrBadLog, lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read log: %w", err)
+	}
+	if total < 0 {
+		return nil, fmt.Errorf("%w: missing header", ErrBadLog)
+	}
+	if len(t.Ring) == 0 {
+		return nil, fmt.Errorf("%w: missing ring", ErrBadLog)
+	}
+	return t, nil
+}
+
+func parseID(s string, total int) (graph.NodeID, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad node id %q: %v", s, err)
+	}
+	if n < 0 || (total >= 0 && n >= total) {
+		return 0, fmt.Errorf("node id %d out of range [0,%d)", n, total)
+	}
+	return graph.NodeID(n), nil
+}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLogRoundTrip(t *testing.T) {
+	cfg := Config{Seed: 30, InteriorNodes: 60, Epochs: 12}.ApplyDefaults()
+	var log strings.Builder
+	orig, err := GenerateWithLog(cfg, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseLog(strings.NewReader(log.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ring and node count survive.
+	if len(parsed.Ring) != len(orig.Ring) {
+		t.Fatalf("ring %d vs %d", len(parsed.Ring), len(orig.Ring))
+	}
+	if len(parsed.Pts) != len(orig.Pts) {
+		t.Fatalf("nodes %d vs %d", len(parsed.Pts), len(orig.Pts))
+	}
+	// Edge sets identical; RSSI within formatting precision (1 decimal).
+	eo, ep := orig.UndirectedEdges(), parsed.UndirectedEdges()
+	if len(eo) != len(ep) {
+		t.Fatalf("edges %d vs %d", len(eo), len(ep))
+	}
+	po := make(map[[2]int]float64, len(eo))
+	for _, e := range eo {
+		po[[2]int{int(e.Edge.U), int(e.Edge.V)}] = e.RSSI
+	}
+	for _, e := range ep {
+		want, ok := po[[2]int{int(e.Edge.U), int(e.Edge.V)}]
+		if !ok {
+			t.Fatalf("edge %v missing from original", e.Edge)
+		}
+		if math.Abs(e.RSSI-want) > 0.06 {
+			t.Fatalf("edge %v RSSI %.3f vs %.3f beyond precision", e.Edge, e.RSSI, want)
+		}
+	}
+	// The extracted networks agree at a common threshold.
+	th := orig.ThresholdForFraction(0.8)
+	g1 := orig.ExtractGraph(th)
+	g2 := parsed.ExtractGraph(th)
+	diff := g1.NumEdges() - g2.NumEdges()
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff) > 0.01*float64(g1.NumEdges())+2 {
+		t.Fatalf("extracted edges differ: %d vs %d", g1.NumEdges(), g2.NumEdges())
+	}
+	// Positions survive for rendering (3-decimal precision).
+	if math.Abs(parsed.Pts[0].X-orig.Pts[0].X) > 5e-4 ||
+		math.Abs(parsed.Pts[0].Y-orig.Pts[0].Y) > 5e-4 {
+		t.Fatalf("position mismatch: %+v vs %+v", parsed.Pts[0], orig.Pts[0])
+	}
+}
+
+func TestParsedTraceSchedulable(t *testing.T) {
+	cfg := Config{Seed: 31, InteriorNodes: 60, Epochs: 12}.ApplyDefaults()
+	var log strings.Builder
+	if _, err := GenerateWithLog(cfg, &log); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseLog(strings.NewReader(log.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := parsed.Network(parsed.ThresholdForFraction(0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseLogErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad version", "# greenorbs-sim v9 nodes=3\nring 0 1 2\n"},
+		{"no header", "ring 0 1\npkt 0 0 1:-50\n"},
+		{"no ring", "# greenorbs-sim v1 nodes=3\npkt 0 0 1:-50.0\n"},
+		{"bad directive", "# greenorbs-sim v1 nodes=3\nring 0 1\nzap\n"},
+		{"bad record", "# greenorbs-sim v1 nodes=3\nring 0 1\npkt 0 0 notarecord\n"},
+		{"bad rssi", "# greenorbs-sim v1 nodes=3\nring 0 1\npkt 0 0 1:loud\n"},
+		{"id out of range", "# greenorbs-sim v1 nodes=3\nring 0 9\n"},
+		{"negative id", "# greenorbs-sim v1 nodes=3\nring -1\n"},
+		{"bad epoch", "# greenorbs-sim v1 nodes=3\nring 0 1\npkt x 0 1:-50.0\n"},
+		{"bad pos", "# greenorbs-sim v1 nodes=3\nring 0 1\npos 0 a b\n"},
+		{"bad header kv", "# greenorbs-sim v1 nodes\nring 0\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseLog(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("malformed log accepted")
+			}
+			if tc.name != "empty" && !errors.Is(err, ErrBadLog) {
+				t.Fatalf("error not wrapped as ErrBadLog: %v", err)
+			}
+		})
+	}
+}
+
+func TestParseLogIgnoresBlankLines(t *testing.T) {
+	in := "# greenorbs-sim v1 nodes=3\n\nring 0 1\n\npkt 0 0 1:-50.0\npkt 0 1 0:-50.0\n"
+	tr, err := ParseLog(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.UndirectedEdges()) != 1 {
+		t.Fatalf("edges = %d, want 1", len(tr.UndirectedEdges()))
+	}
+}

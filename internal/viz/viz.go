@@ -1,0 +1,169 @@
+// Package viz renders embedded networks and coverage schedules as SVG —
+// the visual analogue of the paper's Figures 2 and 7 (original network,
+// boundary nodes, and the coverage sets after maximal vertex deletion).
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dcc/internal/geom"
+	"dcc/internal/graph"
+)
+
+// Style configures the rendering.
+type Style struct {
+	// Scale converts deployment units to pixels (default 12).
+	Scale float64
+	// Margin is the pixel padding around the drawing (default 20).
+	Margin float64
+	// NodeRadius is the marker radius in pixels (default 3.5).
+	NodeRadius float64
+}
+
+func (s Style) withDefaults() Style {
+	if s.Scale <= 0 {
+		s.Scale = 12
+	}
+	if s.Margin <= 0 {
+		s.Margin = 20
+	}
+	if s.NodeRadius <= 0 {
+		s.NodeRadius = 3.5
+	}
+	return s
+}
+
+// Scene is one network snapshot to draw.
+type Scene struct {
+	// G is the graph whose edges are drawn.
+	G *graph.Graph
+	// Pos maps node IDs to deployment coordinates. Nodes without a
+	// position are skipped (virtual repair nodes, typically).
+	Pos map[graph.NodeID]geom.Point
+	// Boundary nodes are drawn as squares, others as circles.
+	Boundary map[graph.NodeID]bool
+	// Deleted nodes (optional) are drawn as faint crosses to visualise
+	// what scheduling removed.
+	Deleted []graph.NodeID
+	// DeletedPos supplies positions for deleted nodes when they are no
+	// longer in G; falls back to Pos.
+	DeletedPos map[graph.NodeID]geom.Point
+	// Title is printed above the drawing.
+	Title string
+}
+
+// Render writes the scene as a standalone SVG document.
+func Render(w io.Writer, sc Scene, style Style) error {
+	style = style.withDefaults()
+	if sc.G == nil {
+		return fmt.Errorf("viz: nil graph")
+	}
+	minX, minY, maxX, maxY := bounds(sc)
+	tx := func(p geom.Point) (float64, float64) {
+		return style.Margin + (p.X-minX)*style.Scale,
+			style.Margin + (maxY-p.Y)*style.Scale // flip Y for screen coords
+	}
+	width := style.Margin*2 + (maxX-minX)*style.Scale
+	height := style.Margin*2 + (maxY-minY)*style.Scale + 18
+
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\">\n",
+		width, height, width, height)
+	p("<rect width=\"100%%\" height=\"100%%\" fill=\"white\"/>\n")
+	if sc.Title != "" {
+		p("<text x=\"%.0f\" y=\"14\" font-family=\"sans-serif\" font-size=\"12\">%s</text>\n",
+			style.Margin, sc.Title)
+	}
+	// Edges.
+	p("<g stroke=\"#999\" stroke-width=\"0.7\">\n")
+	for _, e := range sc.G.Edges() {
+		pu, uok := sc.Pos[e.U]
+		pv, vok := sc.Pos[e.V]
+		if !uok || !vok {
+			continue
+		}
+		x1, y1 := tx(pu)
+		x2, y2 := tx(pv)
+		p("<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\"/>\n", x1, y1, x2, y2)
+	}
+	p("</g>\n")
+	// Deleted markers.
+	if len(sc.Deleted) > 0 {
+		p("<g stroke=\"#d88\" stroke-width=\"1\">\n")
+		for _, v := range sc.Deleted {
+			pos, ok := sc.DeletedPos[v]
+			if !ok {
+				pos, ok = sc.Pos[v]
+			}
+			if !ok {
+				continue
+			}
+			x, y := tx(pos)
+			r := style.NodeRadius * 0.8
+			p("<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\"/>\n", x-r, y-r, x+r, y+r)
+			p("<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\"/>\n", x-r, y+r, x+r, y-r)
+		}
+		p("</g>\n")
+	}
+	// Nodes (deterministic order).
+	nodes := sc.G.Nodes()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	p("<g>\n")
+	for _, v := range nodes {
+		pos, ok := sc.Pos[v]
+		if !ok {
+			continue
+		}
+		x, y := tx(pos)
+		if sc.Boundary[v] {
+			r := style.NodeRadius
+			p("<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" fill=\"#2a6\" stroke=\"black\" stroke-width=\"0.5\"/>\n",
+				x-r, y-r, 2*r, 2*r)
+		} else {
+			p("<circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\" fill=\"#36c\" stroke=\"black\" stroke-width=\"0.5\"/>\n",
+				x, y, style.NodeRadius)
+		}
+	}
+	p("</g>\n</svg>\n")
+	return err
+}
+
+func bounds(sc Scene) (minX, minY, maxX, maxY float64) {
+	first := true
+	consider := func(p geom.Point) {
+		if first {
+			minX, maxX, minY, maxY = p.X, p.X, p.Y, p.Y
+			first = false
+			return
+		}
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	for _, p := range sc.Pos {
+		consider(p)
+	}
+	for _, p := range sc.DeletedPos {
+		consider(p)
+	}
+	if first {
+		return 0, 0, 1, 1
+	}
+	return minX, minY, maxX, maxY
+}

@@ -1,0 +1,83 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"dcc/internal/geom"
+	"dcc/internal/graph"
+)
+
+func testScene() Scene {
+	g := graph.Cycle(4)
+	return Scene{
+		G: g,
+		Pos: map[graph.NodeID]geom.Point{
+			0: {X: 0, Y: 0}, 1: {X: 1, Y: 0}, 2: {X: 1, Y: 1}, 3: {X: 0, Y: 1},
+		},
+		Boundary: map[graph.NodeID]bool{0: true},
+		Title:    "test scene",
+	}
+}
+
+func TestRenderBasics(t *testing.T) {
+	var b strings.Builder
+	if err := Render(&b, testScene(), Style{}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not a complete SVG document")
+	}
+	if strings.Count(out, "<line") != 4 {
+		t.Fatalf("expected 4 edge lines, got %d", strings.Count(out, "<line"))
+	}
+	if strings.Count(out, "<circle") != 3 {
+		t.Fatalf("expected 3 circles, got %d", strings.Count(out, "<circle"))
+	}
+	// Boundary node drawn as square plus background rect.
+	if strings.Count(out, "<rect") != 2 {
+		t.Fatalf("expected background + 1 boundary rect, got %d", strings.Count(out, "<rect"))
+	}
+	if !strings.Contains(out, "test scene") {
+		t.Fatal("title missing")
+	}
+}
+
+func TestRenderDeletedMarkers(t *testing.T) {
+	sc := testScene()
+	sc.Deleted = []graph.NodeID{9}
+	sc.DeletedPos = map[graph.NodeID]geom.Point{9: {X: 0.5, Y: 0.5}}
+	var b strings.Builder
+	if err := Render(&b, sc, Style{}); err != nil {
+		t.Fatal(err)
+	}
+	// Two cross strokes plus four edges.
+	if got := strings.Count(b.String(), "<line"); got != 6 {
+		t.Fatalf("expected 6 lines (4 edges + 2 cross strokes), got %d", got)
+	}
+}
+
+func TestRenderSkipsNodesWithoutPosition(t *testing.T) {
+	sc := testScene()
+	delete(sc.Pos, 2)
+	var b strings.Builder
+	if err := Render(&b, sc, Style{}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Node 2 and its two incident edges are skipped.
+	if strings.Count(out, "<circle") != 2 {
+		t.Fatalf("expected 2 circles, got %d", strings.Count(out, "<circle"))
+	}
+	if strings.Count(out, "<line") != 2 {
+		t.Fatalf("expected 2 edges, got %d", strings.Count(out, "<line"))
+	}
+}
+
+func TestRenderNilGraph(t *testing.T) {
+	var b strings.Builder
+	if err := Render(&b, Scene{}, Style{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}

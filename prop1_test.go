@@ -1,0 +1,79 @@
+package dcc
+
+import (
+	"math"
+	"testing"
+)
+
+// TestProposition1PartialBound validates the partial-coverage branch of
+// Proposition 1 end to end: with 2·sin(π/τ) < γ ≤ 2, a τ-confine coverage
+// set leaves holes of diameter at most (τ−2)·Rc. The guarantee applies
+// when the deployment satisfies the τ criterion initially (Theorem 5's
+// precondition), so runs are gated on AchievableTau.
+func TestProposition1PartialBound(t *testing.T) {
+	checked := 0
+	for _, cfg := range []struct {
+		seed int64
+		tau  int
+	}{
+		{seed: 21, tau: 5},
+		{seed: 22, tau: 6},
+		{seed: 23, tau: 4},
+	} {
+		dep, err := Deploy(DeployOptions{Nodes: 220, Seed: cfg.seed, Gamma: 2.0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		minTau, err := dep.AchievableTau(cfg.tau)
+		if err != nil || minTau > cfg.tau {
+			continue // precondition not met on this instance
+		}
+		res, err := dep.ScheduleDCC(cfg.tau, ScheduleOptions{Seed: cfg.seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := dep.VerifyConfine(res.Final, cfg.tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("seed %d: criterion lost during scheduling", cfg.seed)
+		}
+		rep := dep.CoverageReport(res.Final, 0)
+		bound := float64(cfg.tau-2) * dep.Rc
+		slack := 2 * math.Sqrt2 * rep.Resolution
+		if d := rep.MaxHoleDiameter(); d > bound+slack {
+			t.Fatalf("seed %d τ=%d: hole diameter %.3f exceeds bound %.3f",
+				cfg.seed, cfg.tau, d, bound)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Skip("no instance satisfied the precondition; loosen configs")
+	}
+}
+
+// TestProposition1BlanketThresholds validates the blanket branch at the
+// exact thresholds: γ = 2·sin(π/τ) admits blanket coverage for each τ.
+func TestProposition1BlanketThresholds(t *testing.T) {
+	for tau := 3; tau <= 8; tau++ {
+		gamma := 2 * math.Sin(math.Pi/float64(tau))
+		got, err := PlanTau(Requirement{Gamma: gamma})
+		if err != nil {
+			t.Fatalf("τ=%d (γ=%.4f): %v", tau, gamma, err)
+		}
+		if got != tau {
+			t.Fatalf("PlanTau(γ=2sin(π/%d)) = %d, want %d", tau, got, tau)
+		}
+		// Just above the threshold, the blanket branch must drop to τ−1.
+		if tau > 3 {
+			got, err = PlanTau(Requirement{Gamma: gamma * 1.001})
+			if err != nil {
+				t.Fatalf("τ=%d above threshold: %v", tau, err)
+			}
+			if got != tau-1 {
+				t.Fatalf("PlanTau just above γ(τ=%d) = %d, want %d", tau, got, tau-1)
+			}
+		}
+	}
+}

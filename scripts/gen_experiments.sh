@@ -1,0 +1,11 @@
+#!/bin/sh
+# Regenerates the data recorded in EXPERIMENTS.md.
+#
+# Scale note: the paper uses 1600 nodes and 100 runs per point; on a
+# single-core machine this script defaults to 800 nodes and 3 runs, which
+# reproduces every reported shape in ~30-60 minutes. Override via NODES,
+# RUNS, MAXTAU, or set FIGARGS=-full for paper-scale presets.
+set -e
+cd "$(dirname "$0")/.."
+go build ./...
+go run ./cmd/dccsim -fig all -nodes "${NODES:-800}" -runs "${RUNS:-3}" -maxtau "${MAXTAU:-9}" -seed 1 ${FIGARGS:-}
