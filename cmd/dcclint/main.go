@@ -1,0 +1,69 @@
+// Command dcclint runs the repository's determinism & safety analyzers
+// (internal/lint) over the given packages and exits nonzero on findings.
+//
+// Usage:
+//
+//	dcclint [-list] [packages]
+//
+// Packages default to ./... resolved from the current directory; the
+// patterns understood are "./...", "./dir" and "./dir/...". Typical use,
+// from the module root:
+//
+//	go run ./cmd/dcclint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dcc/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	flags := flag.NewFlagSet("dcclint", flag.ContinueOnError)
+	list := flags.Bool("list", false, "list analyzers and exit")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := flags.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcclint:", err)
+		return 2
+	}
+	pkgs, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcclint:", err)
+		return 2
+	}
+	diags := lint.Run(pkgs, lint.Analyzers())
+	for _, d := range diags {
+		// Report paths relative to the working directory when possible.
+		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dcclint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

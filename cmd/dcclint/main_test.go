@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dcc/internal/lint"
+)
+
+// TestSelfLint runs the full analyzer suite over the repository's own
+// source and fails on any finding, so the tree stays lint-clean without
+// external CI. A violation anywhere in shipped code (an unsorted map range
+// in a deterministic package, a global rand call, a wall-clock read in the
+// simulator, a dropped error) fails `go test ./...` directly.
+func TestSelfLint(t *testing.T) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	diags := lint.Run(pkgs, lint.Analyzers())
+	for _, d := range diags {
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("dcclint found %d violation(s) in the tree; fix them or add a reasoned waiver", len(diags))
+	}
+}

@@ -85,7 +85,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer func() { _ = f.Close() }() // error path only; success path checks Close below
 		scene := viz.Scene{
 			G:          g,
 			Pos:        pos,

@@ -359,6 +359,7 @@ func scheduleParallel(net Network, opts Options) (Result, error) {
 			delete(deletable, v)
 			delete(affected, v)
 		}
+		//lint:ordered map-to-map write; dirty is drained into a sorted slice each round
 		for w := range affected {
 			if !net.Boundary[w] && g.HasNode(w) {
 				dirty[w] = true
@@ -417,6 +418,7 @@ func RepairBoundaries(net Network) (Network, []graph.NodeID, error) {
 		}
 	}
 	newBoundary := make(map[graph.NodeID]bool, len(net.Boundary))
+	//lint:ordered pure map copy; iteration order cannot escape
 	for v, ok := range net.Boundary {
 		newBoundary[v] = ok
 	}

@@ -132,18 +132,20 @@ func VertexOrder(g *graph.Graph, c Cycle) ([]graph.NodeID, error) {
 		next[e.U] = append(next[e.U], e.V)
 		next[e.V] = append(next[e.V], e.U)
 	}
-	for v, ns := range next {
-		if len(ns) != 2 {
+	// Validate in sorted vertex order so the reported error (and the walk's
+	// start vertex) never depend on map iteration order.
+	verts := make([]graph.NodeID, 0, len(next))
+	for v := range next {
+		verts = append(verts, v)
+	}
+	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+	for _, v := range verts {
+		if ns := next[v]; len(ns) != 2 {
 			return nil, fmt.Errorf("cycles: vertex %d has degree %d in edge set", v, len(ns))
 		}
 	}
 	// Walk from the smallest vertex.
-	start := graph.NodeID(-1)
-	for v := range next {
-		if start < 0 || v < start {
-			start = v
-		}
-	}
+	start := verts[0]
 	order := make([]graph.NodeID, 0, len(c.edges))
 	prev, cur := graph.NodeID(-1), start
 	for {

@@ -1,0 +1,14 @@
+//go:build !dccdebug
+
+package dist
+
+import "dcc/internal/graph"
+
+// debugChecks gates the protocol's deep invariant assertions. Build with
+// -tags dccdebug (e.g. `go test -tags dccdebug ./...`) to enable them; in
+// regular builds this file provides free no-ops.
+const debugChecks = false
+
+func (r *runtime) debugCheckWinners([]graph.NodeID, []graph.NodeID, int) {}
+
+func (r *runtime) debugCheckDeletionLog(int, []graph.NodeID) {}

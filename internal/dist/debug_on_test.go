@@ -1,0 +1,49 @@
+//go:build dccdebug
+
+package dist
+
+import (
+	"testing"
+
+	"dcc/internal/core"
+	"dcc/internal/graph"
+)
+
+func expectPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: invariant violation passed the dccdebug check", name)
+		}
+	}()
+	f()
+}
+
+// TestDebugChecksCatchViolations verifies the protocol assertions are not
+// vacuous: fabricated election outcomes that break the MIS safety rules
+// must panic.
+func TestDebugChecksCatchViolations(t *testing.T) {
+	// A path 1-2-3-4-5: adjacent nodes are 1 hop apart, far below any
+	// independence radius m ≥ 2.
+	g, err := graph.FromEdges([]graph.Edge{{U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := core.Network{G: g, Boundary: map[graph.NodeID]bool{1: true, 5: true}}
+	r := newRuntime(net, Config{Tau: 3, Seed: 1})
+
+	cands := []graph.NodeID{2, 3, 4}
+	expectPanic(t, "winners too close", func() {
+		r.debugCheckWinners(cands, []graph.NodeID{2, 3}, 1)
+	})
+	expectPanic(t, "winners unsorted", func() {
+		r.debugCheckWinners(cands, []graph.NodeID{4, 2}, 1)
+	})
+	expectPanic(t, "winner not a candidate", func() {
+		r.debugCheckWinners(cands, []graph.NodeID{5}, 1)
+	})
+	expectPanic(t, "deletion log mismatch", func() {
+		r.deleted = append(r.deleted, 3)
+		r.debugCheckDeletionLog(0, []graph.NodeID{2})
+	})
+}

@@ -256,7 +256,10 @@ func (r *runtime) mainLoop() {
 			// All candidate floods lost; retry with fresh priorities.
 			continue
 		}
+		r.debugCheckWinners(cands, winners, sr) // no-op unless -tags dccdebug
+		before := len(r.deleted)
 		r.deleteWinners(winners)
+		r.debugCheckDeletionLog(before, winners)
 	}
 }
 
@@ -333,6 +336,7 @@ func (r *runtime) electMIS(cands []graph.NodeID, superRound int) []graph.NodeID 
 	for _, v := range cands {
 		own := bids[v]
 		lost := false
+		//lint:ordered ∃-reduction: "did any heard bid beat mine" is order-independent
 		for _, other := range heard[v] {
 			if other.wins(own) {
 				lost = true
@@ -369,6 +373,7 @@ func (r *runtime) deleteWinners(winners []graph.NodeID) {
 
 	// Forward the announcements k−1 more hops among survivors.
 	for hop := 1; hop < r.k; hop++ {
+		//lint:ordered prune-only pass; broadcastRound sorts the surviving senders
 		for v := range pending {
 			if !r.cur.HasNode(v) {
 				delete(pending, v)

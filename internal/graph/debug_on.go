@@ -1,0 +1,70 @@
+//go:build dccdebug
+
+package graph
+
+import "fmt"
+
+// debugChecks gates the deep structural invariant assertions; this build
+// has them on (-tags dccdebug).
+const debugChecks = true
+
+// debugCheckGraph panics unless g satisfies every structural invariant the
+// rest of the repository relies on: node IDs strictly sorted and densely
+// indexed, edges normalized (U < V), strictly sorted and uniquely indexed
+// (no duplicates), adjacency lists strictly sorted with a consistent
+// parallel edge-index list, and the handshake sum matching the edge count.
+// The static maprange analyzer can only approximate these properties;
+// dccdebug builds check them on every construction.
+func debugCheckGraph(g *Graph) {
+	if len(g.idx) != len(g.ids) {
+		panic(fmt.Sprintf("graph debug: %d ids but %d index entries", len(g.ids), len(g.idx)))
+	}
+	for i, v := range g.ids {
+		if i > 0 && g.ids[i-1] >= v {
+			panic(fmt.Sprintf("graph debug: ids not strictly sorted at %d: %d >= %d", i, g.ids[i-1], v))
+		}
+		if g.idx[v] != i {
+			panic(fmt.Sprintf("graph debug: idx[%d] = %d, want %d", v, g.idx[v], i))
+		}
+	}
+	if len(g.eidx) != len(g.edges) {
+		panic(fmt.Sprintf("graph debug: %d edges but %d edge-index entries (duplicate edge?)", len(g.edges), len(g.eidx)))
+	}
+	for i, e := range g.edges {
+		if e.U >= e.V {
+			panic(fmt.Sprintf("graph debug: edge %d not normalized: {%d,%d}", i, e.U, e.V))
+		}
+		if i > 0 {
+			p := g.edges[i-1]
+			if p.U > e.U || (p.U == e.U && p.V >= e.V) {
+				panic(fmt.Sprintf("graph debug: edges not strictly sorted at %d: {%d,%d} then {%d,%d}", i, p.U, p.V, e.U, e.V))
+			}
+		}
+		if g.eidx[e] != i {
+			panic(fmt.Sprintf("graph debug: eidx[{%d,%d}] = %d, want %d", e.U, e.V, g.eidx[e], i))
+		}
+	}
+	total := 0
+	for i := range g.adj {
+		a, ae := g.adj[i], g.adjEdge[i]
+		if len(a) != len(ae) {
+			panic(fmt.Sprintf("graph debug: node %d: %d neighbours but %d edge indices", g.ids[i], len(a), len(ae)))
+		}
+		for j, w := range a {
+			if j > 0 && a[j-1] >= w {
+				panic(fmt.Sprintf("graph debug: adjacency of %d not strictly sorted at %d (duplicate edge?)", g.ids[i], j))
+			}
+			if int(ae[j]) < 0 || int(ae[j]) >= len(g.edges) {
+				panic(fmt.Sprintf("graph debug: node %d: edge index %d out of range", g.ids[i], ae[j]))
+			}
+			if got, want := g.edges[ae[j]], NormEdge(g.ids[i], g.ids[w]); got != want {
+				panic(fmt.Sprintf("graph debug: node %d neighbour %d: adjEdge says {%d,%d}, want {%d,%d}",
+					g.ids[i], g.ids[w], got.U, got.V, want.U, want.V))
+			}
+		}
+		total += len(a)
+	}
+	if total != 2*len(g.edges) {
+		panic(fmt.Sprintf("graph debug: handshake sum %d != 2·%d edges", total, len(g.edges)))
+	}
+}

@@ -110,6 +110,7 @@ func (b *Builder) Build() (*Graph, error) {
 		a, ae := g.adj[i], g.adjEdge[i]
 		sort.Sort(&adjPair{nbrs: a, edges: ae})
 	}
+	debugCheckGraph(g) // no-op unless built with -tags dccdebug
 	return g, nil
 }
 

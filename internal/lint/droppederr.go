@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DroppedErrAnalyzer flags calls whose error result is silently discarded:
+// a call used as a bare statement (or in defer/go) when its results include
+// an error. Assigning the error to `_` is an explicit, visible discard and
+// is not flagged. Print-style helpers and in-memory writers that cannot
+// meaningfully fail are exempt.
+var DroppedErrAnalyzer = &Analyzer{
+	Name: "droppederr",
+	Doc:  "call discards an error result; handle it or assign to _ explicitly",
+	Run:  runDroppedErr,
+}
+
+func runDroppedErr(pass *Pass) {
+	check := func(call *ast.CallExpr, keyword string) {
+		if !returnsError(pass, call) || errExempt(pass, call) {
+			return
+		}
+		pass.Reportf(call.Pos(), "",
+			"%sdiscards error result of %s; handle it or assign to _", keyword, calleeName(pass, call))
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					check(call, "")
+				}
+			case *ast.DeferStmt:
+				check(s.Call, "defer ")
+			case *ast.GoStmt:
+				check(s.Call, "go ")
+			}
+			return true
+		})
+	}
+}
+
+// returnsError reports whether any result of the call is of type error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// errExempt reports whether the callee is on the can't-usefully-fail list:
+// fmt's print family (errors only on broken writers; stdout/stderr
+// diagnostics are fire-and-forget) and the in-memory writers bytes.Buffer
+// and strings.Builder, whose Write methods are documented to always return
+// a nil error.
+func errExempt(pass *Pass, call *ast.CallExpr) bool {
+	fn := pass.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	if path == "fmt" && (strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return true
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	full := obj.Pkg().Path() + "." + obj.Name()
+	return full == "bytes.Buffer" || full == "strings.Builder"
+}
+
+// calleeName renders the called function for the diagnostic message.
+func calleeName(pass *Pass, call *ast.CallExpr) string {
+	if fn := pass.calleeFunc(call); fn != nil {
+		sig, _ := fn.Type().(*types.Signature)
+		if fn.Pkg() != nil && sig != nil && sig.Recv() == nil {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return "call"
+}

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// globalRandOK lists the math/rand package-level functions that are
+// acceptable everywhere: constructors that feed an explicit seed into an
+// explicit generator. Everything else at package level (rand.Intn,
+// rand.Float64, rand.Shuffle, rand.Seed, ...) draws from the shared global
+// source, whose stream depends on what every other caller in the process
+// has consumed — unreproducible by construction.
+var globalRandOK = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// GlobalRandAnalyzer flags package-level math/rand (and math/rand/v2)
+// calls anywhere in shipped code; randomness must flow through a seeded
+// *rand.Rand so runs are reproducible from their Config alone.
+var GlobalRandAnalyzer = &Analyzer{
+	Name: "globalrand",
+	Doc:  "package-level math/rand call; use a seeded *rand.Rand instead",
+	Run:  runGlobalRand,
+}
+
+func runGlobalRand(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.calleeFunc(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			// Methods on *rand.Rand carry their own source: fine.
+			if sig, _ := fn.Type().(*types.Signature); sig != nil && sig.Recv() != nil {
+				return true
+			}
+			if globalRandOK[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(), "",
+				"package-level %s.%s uses the shared global source; draw from a seeded *rand.Rand",
+				path, fn.Name())
+			return true
+		})
+	}
+}

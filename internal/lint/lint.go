@@ -1,0 +1,223 @@
+// Package lint implements dcclint, the repository's determinism & safety
+// static-analysis pass. The simulator's reproducibility guarantee — "a run
+// is reproducible from its Config alone" (internal/dist) — rests on coding
+// conventions: sorted map iteration, seeded *rand.Rand, no wall clock.
+// This package machine-checks those conventions using only the standard
+// library (go/parser, go/ast, go/types with the source importer), so the
+// module stays dependency-free.
+//
+// Findings can be waived per-site with a comment on the flagged line or the
+// line immediately above:
+//
+//	//lint:ordered <reason>            waives maprange (reason required)
+//	//lint:ignore <analyzer> <reason>  waives any analyzer (reason required)
+//
+// A waiver with an empty reason does not waive anything; dcclint reports
+// the site regardless, so every exception is self-documenting.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// DeterministicPkgs lists the packages whose iteration order is part of the
+// reproducibility contract: ranging over a map there is flagged by the
+// maprange analyzer unless the keys are sorted before use or the site
+// carries a //lint:ordered waiver.
+var DeterministicPkgs = map[string]bool{
+	"dcc/internal/graph":  true,
+	"dcc/internal/dist":   true,
+	"dcc/internal/vpt":    true,
+	"dcc/internal/cycles": true,
+	"dcc/internal/core":   true,
+}
+
+// simPkgPrefix marks simulation/protocol code: wall-clock reads are banned
+// under it (timing belongs in cmd/ binaries, never in simulation results).
+const simPkgPrefix = "dcc/internal/"
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s",
+		d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Package is a loaded, type-checked package ready for analysis.
+type Package struct {
+	Path    string // import path, e.g. "dcc/internal/dist"
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	waivers map[string]map[int]waiver // filename -> line -> waiver
+}
+
+// waiver is one parsed //lint: directive.
+type waiver struct {
+	directive string // "ordered" or "ignore"
+	analyzer  string // for "ignore": the analyzer it targets
+	reason    string
+}
+
+// collectWaivers parses //lint: comment directives from every file.
+func (p *Package) collectWaivers() {
+	p.waivers = make(map[string]map[int]waiver)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				w := waiver{directive: fields[0]}
+				rest := fields[1:]
+				if w.directive == "ignore" && len(rest) > 0 {
+					w.analyzer = rest[0]
+					rest = rest[1:]
+				}
+				w.reason = strings.Join(rest, " ")
+				pos := p.Fset.Position(c.Pos())
+				byLine := p.waivers[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]waiver)
+					p.waivers[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = w
+			}
+		}
+	}
+}
+
+// waived reports whether a finding of the named analyzer at pos is waived
+// by a directive (on the same line or the line above). directive is the
+// analyzer-specific directive ("ordered" for maprange); the generic
+// "//lint:ignore <analyzer> <reason>" form always applies. Waivers without
+// a reason never waive.
+func (p *Package) waived(analyzer, directive string, pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	byLine := p.waivers[position.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{position.Line, position.Line - 1} {
+		w, ok := byLine[line]
+		if !ok || w.reason == "" {
+			continue
+		}
+		if w.directive == directive && directive != "" {
+			return true
+		}
+		if w.directive == "ignore" && w.analyzer == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos unless the site carries a waiver.
+// directive is the analyzer-specific waiver keyword ("" = generic-only).
+func (p *Pass) Reportf(pos token.Pos, directive, format string, args ...any) {
+	if p.Pkg.waived(p.Analyzer.Name, directive, pos) {
+		return
+	}
+	p.report(Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf resolves the type of an expression (nil if unknown).
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ObjectOf resolves the object an identifier denotes (nil if unknown).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.Pkg.Info.ObjectOf(id)
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (through selector or plain identifier), or nil for non-functions
+// (conversions, builtins, function-typed variables).
+func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// Analyzer is one named check over a package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers returns the full dcclint suite, in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MapRangeAnalyzer,
+		GlobalRandAnalyzer,
+		WallClockAnalyzer,
+		DroppedErrAnalyzer,
+		LooseSeedAnalyzer,
+	}
+}
+
+// Run applies every analyzer to every package and returns the findings
+// sorted by position then analyzer name.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

@@ -1,0 +1,281 @@
+package lint
+
+import (
+	"testing"
+)
+
+// runCase type-checks a synthetic package and returns the rendered
+// diagnostics of the given analyzers.
+func runCase(t *testing.T, pkgPath string, files map[string]string, analyzers ...*Analyzer) []string {
+	t.Helper()
+	pkg, err := LoadSource(pkgPath, files)
+	if err != nil {
+		t.Fatalf("LoadSource: %v", err)
+	}
+	diags := Run([]*Package{pkg}, analyzers)
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.String()
+	}
+	return out
+}
+
+func expect(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d\ngot:  %q\nwant: %q", len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("diagnostic %d:\ngot:  %s\nwant: %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMapRange(t *testing.T) {
+	cases := []struct {
+		name    string
+		pkgPath string
+		src     string
+		want    []string
+	}{
+		{
+			name:    "unsorted range flagged",
+			pkgPath: "dcc/internal/graph",
+			src: `package graph
+
+func Values(m map[int]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+`,
+			want: []string{
+				"a.go:5:2: maprange: range over map map[int]int in deterministic package dcc/internal/graph: sort the keys before use or add //lint:ordered <reason>",
+			},
+		},
+		{
+			name:    "collect then sort allowed",
+			pkgPath: "dcc/internal/graph",
+			src: `package graph
+
+import "sort"
+
+func Keys(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+`,
+			want: nil,
+		},
+		{
+			name:    "waiver with reason allowed",
+			pkgPath: "dcc/internal/dist",
+			src: `package dist
+
+func Count(m map[string]bool) int {
+	n := 0
+	//lint:ordered pure count, order-independent
+	for range m {
+		n++
+	}
+	return n
+}
+`,
+			want: nil,
+		},
+		{
+			name:    "waiver without reason still flagged",
+			pkgPath: "dcc/internal/dist",
+			src: `package dist
+
+func Count(m map[string]bool) int {
+	n := 0
+	//lint:ordered
+	for range m {
+		n++
+	}
+	return n
+}
+`,
+			want: []string{
+				"a.go:6:2: maprange: range over map map[string]bool in deterministic package dcc/internal/dist: sort the keys before use or add //lint:ordered <reason>",
+			},
+		},
+		{
+			name:    "non-deterministic package exempt",
+			pkgPath: "dcc/internal/viz",
+			src: `package viz
+
+func Values(m map[int]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := runCase(t, tc.pkgPath, map[string]string{"a.go": tc.src}, MapRangeAnalyzer)
+			expect(t, got, tc.want)
+		})
+	}
+}
+
+func TestGlobalRand(t *testing.T) {
+	src := `package foo
+
+import "math/rand"
+
+func Bad() int { return rand.Intn(10) }
+
+func AlsoBad() { rand.Shuffle(3, func(i, j int) {}) }
+
+func Good() int {
+	rng := rand.New(rand.NewSource(7))
+	return rng.Intn(10)
+}
+`
+	got := runCase(t, "dcc/internal/foo", map[string]string{"a.go": src}, GlobalRandAnalyzer)
+	expect(t, got, []string{
+		"a.go:5:25: globalrand: package-level math/rand.Intn uses the shared global source; draw from a seeded *rand.Rand",
+		"a.go:7:18: globalrand: package-level math/rand.Shuffle uses the shared global source; draw from a seeded *rand.Rand",
+	})
+}
+
+func TestWallClock(t *testing.T) {
+	src := `package sim
+
+import "time"
+
+func Bad() time.Time { return time.Now() }
+
+func Elapsed(t0 time.Time) time.Duration { return time.Since(t0) }
+
+func OK(d time.Duration) time.Duration { return 2 * d }
+`
+	got := runCase(t, "dcc/internal/sim", map[string]string{"a.go": src}, WallClockAnalyzer)
+	expect(t, got, []string{
+		"a.go:5:31: wallclock: time.Now in simulation package dcc/internal/sim: results must not depend on the wall clock",
+		"a.go:7:51: wallclock: time.Since in simulation package dcc/internal/sim: results must not depend on the wall clock",
+	})
+
+	// The same source outside internal/ (a cmd binary) is allowed to time
+	// things.
+	got = runCase(t, "dcc/cmd/tool", map[string]string{"a.go": src}, WallClockAnalyzer)
+	expect(t, got, nil)
+}
+
+func TestDroppedErr(t *testing.T) {
+	src := `package foo
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func Bad() {
+	os.Remove("x")
+}
+
+func Deferred(f *os.File) {
+	defer f.Close()
+}
+
+func OK() {
+	fmt.Println("hi")
+	_ = os.Remove("x")
+	var sb strings.Builder
+	sb.WriteString("hi")
+}
+
+func Waived() {
+	//lint:ignore droppederr best-effort cleanup
+	os.Remove("x")
+}
+`
+	got := runCase(t, "dcc/internal/foo", map[string]string{"a.go": src}, DroppedErrAnalyzer)
+	expect(t, got, []string{
+		"a.go:10:2: droppederr: discards error result of os.Remove; handle it or assign to _",
+		"a.go:14:8: droppederr: defer discards error result of Close; handle it or assign to _",
+	})
+}
+
+func TestLooseSeed(t *testing.T) {
+	src := `package foo
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Bad() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}
+
+func AlsoBad() {
+	rand.Seed(time.Now().UnixNano())
+}
+
+func Good() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+`
+	got := runCase(t, "dcc/internal/foo", map[string]string{"a.go": src}, LooseSeedAnalyzer)
+	expect(t, got, []string{
+		"a.go:9:18: looseseed: rand seed derived from time.Now is different on every run; derive seeds from Config",
+		"a.go:13:2: looseseed: rand seed derived from time.Now is different on every run; derive seeds from Config",
+	})
+}
+
+// TestAllAnalyzersFire feeds one deliberately-broken source through the full
+// suite and checks every analyzer reports at least once — the acceptance
+// gate that no analyzer is silently dead.
+func TestAllAnalyzersFire(t *testing.T) {
+	src := `package dist
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func Broken(m map[int]int) int {
+	os.Remove("x")
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	total := rand.Intn(10) + rng.Intn(10)
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`
+	got := runCase(t, "dcc/internal/dist", map[string]string{"a.go": src}, Analyzers()...)
+	fired := make(map[string]bool)
+	pkg, err := LoadSource("dcc/internal/dist", map[string]string{"a.go": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run([]*Package{pkg}, Analyzers()) {
+		fired[d.Analyzer] = true
+	}
+	if len(got) == 0 {
+		t.Fatal("no diagnostics at all")
+	}
+	for _, a := range Analyzers() {
+		if !fired[a.Name] {
+			t.Errorf("analyzer %s reported nothing on the broken fixture", a.Name)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// FindModuleRoot walks upward from dir to the directory containing go.mod
+// and returns that directory plus the declared module path.
+func FindModuleRoot(dir string) (root, modulePath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if mod, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(mod), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// loader type-checks module packages on demand. Imports within the module
+// are resolved from source; everything else (the standard library) goes
+// through go/importer's source importer, so no compiled artifacts or
+// network access are needed.
+type loader struct {
+	fset       *token.FileSet
+	root       string // module root directory
+	modulePath string
+	std        types.Importer
+	cache      map[string]*Package // keyed by import path
+	loading    map[string]bool     // import-cycle guard
+}
+
+func newLoader(root, modulePath string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:       fset,
+		root:       root,
+		modulePath: modulePath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		cache:      make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == ld.modulePath || strings.HasPrefix(path, ld.modulePath+"/") {
+		pkg, err := ld.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+// loadPath loads the module package with the given import path.
+func (ld *loader) loadPath(path string) (*Package, error) {
+	if pkg, ok := ld.cache[path]; ok {
+		return pkg, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	dir := ld.root
+	if path != ld.modulePath {
+		dir = filepath.Join(ld.root, filepath.FromSlash(strings.TrimPrefix(path, ld.modulePath+"/")))
+	}
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	// Test files are intentionally excluded (bp.GoFiles omits *_test.go):
+	// the determinism contract governs shipped code, and tests may use
+	// unsorted iteration or unseeded randomness freely.
+	files := make(map[string]string, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		files[name] = string(data)
+	}
+	pkg, err := ld.check(path, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	ld.cache[path] = pkg
+	return pkg, nil
+}
+
+// check parses and type-checks one package from in-memory sources. Keys of
+// files are file names; they are joined to dir for positions.
+func (ld *loader) check(path, dir string, files map[string]string) (*Package, error) {
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var astFiles []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), files[name], parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		astFiles = append(astFiles, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(path, ld.fset, astFiles, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Fset: ld.fset, Files: astFiles, Types: tpkg, Info: info}
+	pkg.collectWaivers()
+	return pkg, nil
+}
+
+// Load loads the packages matched by the given patterns, resolved relative
+// to dir (which must be inside a module). Supported patterns: "./...",
+// "./relative/path", "./relative/path/...". Directories named "testdata"
+// or starting with "." or "_" are skipped by "..." expansion.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	root, modulePath, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	base, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	ld := newLoader(root, modulePath)
+
+	var dirs []string
+	seen := make(map[string]bool)
+	addDir := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			start := filepath.Join(base, filepath.FromSlash(strings.TrimSuffix(rest, "/")))
+			err := filepath.WalkDir(start, func(p string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if p != start && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+					return filepath.SkipDir
+				}
+				addDir(p)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			addDir(filepath.Join(base, filepath.FromSlash(pat)))
+		}
+	}
+
+	var pkgs []*Package
+	for _, d := range dirs {
+		rel, err := filepath.Rel(root, d)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("lint: %s is outside module %s", d, root)
+		}
+		path := modulePath
+		if rel != "." {
+			path = modulePath + "/" + filepath.ToSlash(rel)
+		}
+		if _, err := build.ImportDir(d, 0); err != nil {
+			if _, noGo := err.(*build.NoGoError); noGo {
+				continue // directory without buildable Go files
+			}
+			return nil, fmt.Errorf("lint: %s: %w", path, err)
+		}
+		pkg, err := ld.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadSource type-checks a single synthetic package given as file name →
+// source text, under the given import path. Imports are resolved from the
+// standard library only. Intended for analyzer tests.
+func LoadSource(path string, files map[string]string) (*Package, error) {
+	ld := newLoader(string(filepath.Separator), "synthetic/no/such/module")
+	return ld.check(path, "", files)
+}

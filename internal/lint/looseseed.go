@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LooseSeedAnalyzer flags nondeterministic seeding: a math/rand NewSource /
+// New / Seed call whose seed expression reads the wall clock or the process
+// environment (time.Now().UnixNano(), os.Getpid(), ...). Such a generator
+// is seeded differently on every run, which silently defeats the
+// reproducibility contract even though the code dutifully threads a
+// *rand.Rand everywhere. Seeds must come from Config.
+var LooseSeedAnalyzer = &Analyzer{
+	Name: "looseseed",
+	Doc:  "rand source seeded from the wall clock or process state; seeds must come from Config",
+	Run:  runLooseSeed,
+}
+
+// looseSeedSinks are the math/rand functions whose arguments are seeds.
+var looseSeedSinks = map[string]bool{
+	"NewSource": true,
+	"Seed":      true,
+	"NewPCG":    true, // math/rand/v2
+}
+
+// looseSeedSources are the calls that make a seed nondeterministic.
+var looseSeedSources = map[string]map[string]bool{
+	"time":        {"Now": true},
+	"os":          {"Getpid": true, "Getppid": true, "Environ": true, "Getenv": true},
+	"crypto/rand": {"Read": true, "Int": true, "Prime": true, "Text": true},
+}
+
+func runLooseSeed(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.calleeFunc(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if path := fn.Pkg().Path(); path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if sig, _ := fn.Type().(*types.Signature); sig != nil && sig.Recv() != nil {
+				// (*rand.Rand).Seed: still a reseed sink.
+				if fn.Name() != "Seed" {
+					return true
+				}
+			} else if !looseSeedSinks[fn.Name()] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if src := findNondetSource(pass, arg); src != "" {
+					pass.Reportf(call.Pos(), "",
+						"rand seed derived from %s is different on every run; derive seeds from Config", src)
+					break
+				}
+			}
+			return true
+		})
+	}
+}
+
+// findNondetSource returns the rendered name of the first nondeterministic
+// call inside expr, or "".
+func findNondetSource(pass *Pass, expr ast.Expr) string {
+	found := ""
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := pass.calleeFunc(call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if names := looseSeedSources[fn.Pkg().Path()]; names[fn.Name()] {
+			found = fn.Pkg().Name() + "." + fn.Name()
+			return false
+		}
+		return true
+	})
+	return found
+}

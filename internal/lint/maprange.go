@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRangeAnalyzer flags `range` over a map in a deterministic package
+// (DeterministicPkgs). Go randomizes map iteration order, so any such loop
+// in a protocol or graph-algebra path silently breaks the "reproducible
+// from Config alone" guarantee.
+//
+// Two escapes exist:
+//
+//   - Sorted-before-use: when the loop only collects keys/values into
+//     slices that are passed to a sort/slices call later in the same
+//     function, the iteration order cannot leak into results.
+//   - Explicit waiver: `//lint:ordered <reason>` on the range line or the
+//     line above, for loops that are order-independent for a subtler
+//     reason (∃/∀ reductions, pure map-to-map rewrites, ...).
+var MapRangeAnalyzer = &Analyzer{
+	Name: "maprange",
+	Doc:  "range over a map in a deterministic package without sorting or a //lint:ordered waiver",
+	Run:  runMapRange,
+}
+
+func runMapRange(pass *Pass) {
+	if !DeterministicPkgs[pass.Pkg.Path] {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkMapRangesIn(pass, fn.Body)
+			return true
+		})
+	}
+}
+
+// checkMapRangesIn flags unsorted map ranges anywhere inside body, treating
+// body as the scope in which a later sort call may launder the order.
+func checkMapRangesIn(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if sortedAfter(pass, body, rs) {
+			return true
+		}
+		pass.Reportf(rs.For, "ordered",
+			"range over map %s in deterministic package %s: sort the keys before use or add //lint:ordered <reason>",
+			types.TypeString(t, types.RelativeTo(pass.Pkg.Types)), pass.Pkg.Path)
+		return true
+	})
+}
+
+// sortedAfter reports whether every slice appended to inside the range body
+// is later (after the loop, within scope) passed to a sort.* or slices.*
+// call — the "collect then sort" idiom, whose results are order-independent.
+func sortedAfter(pass *Pass, scope *ast.BlockStmt, rs *ast.RangeStmt) bool {
+	collected := make(map[types.Object]bool)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+				continue
+			}
+			if i >= len(as.Lhs) {
+				continue
+			}
+			if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+				if obj := pass.ObjectOf(id); obj != nil {
+					collected[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(collected) == 0 {
+		return false
+	}
+	sorted := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.ObjectOf(pkgID).(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if usesAny(pass, arg, collected) {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// usesAny reports whether expr mentions any of the given objects.
+func usesAny(pass *Pass, expr ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objs[pass.ObjectOf(id)] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

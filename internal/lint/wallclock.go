@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// wallClockBanned lists the package time functions that read or depend on
+// the wall clock / real scheduler. Any of them inside simulation or
+// protocol code makes results depend on when (and on what machine) the run
+// happened.
+var wallClockBanned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+	"Sleep":     true,
+}
+
+// WallClockAnalyzer flags wall-clock reads in simulation/protocol packages
+// (everything under dcc/internal/). Timing measurements belong in the cmd/
+// binaries, around — never inside — the deterministic core.
+var WallClockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc:  "wall-clock call (time.Now, time.Since, ...) inside a simulation/protocol package",
+	Run:  runWallClock,
+}
+
+func runWallClock(pass *Pass) {
+	if !strings.HasPrefix(pass.Pkg.Path, simPkgPrefix) {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.calleeFunc(call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if sig, _ := fn.Type().(*types.Signature); sig != nil && sig.Recv() != nil {
+				return true
+			}
+			if !wallClockBanned[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(), "",
+				"time.%s in simulation package %s: results must not depend on the wall clock",
+				fn.Name(), pass.Pkg.Path)
+			return true
+		})
+	}
+}

@@ -16,6 +16,8 @@
 package vpt
 
 import (
+	"sort"
+
 	"dcc/internal/cycles"
 	"dcc/internal/graph"
 )
@@ -83,18 +85,19 @@ func voidConfined(neighborhood *graph.Graph, directNeighbors []graph.NodeID, tau
 	if len(directNeighbors) < 2 {
 		return false
 	}
-	direct := make(map[graph.NodeID]bool, len(directNeighbors))
+	direct := make([]graph.NodeID, 0, len(directNeighbors))
 	for _, n := range directNeighbors {
 		if neighborhood.HasNode(n) {
-			direct[n] = true
+			direct = append(direct, n)
 		}
 	}
+	sort.Slice(direct, func(i, j int) bool { return direct[i] < direct[j] })
 	if len(direct) < 2 {
 		return false
 	}
-	for n := range direct {
+	for _, n := range direct {
 		t := neighborhood.BFS(n, tau-2)
-		for m := range direct {
+		for _, m := range direct {
 			if m != n && t.Depth(m) >= 0 {
 				return true
 			}
@@ -128,6 +131,7 @@ func EdgeDeletable(g *graph.Graph, u, v graph.NodeID, tau int) bool {
 	for w := range set {
 		nodes = append(nodes, w)
 	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
 	sub := g.InducedSubgraph(nodes).DeleteEdges([]graph.Edge{graph.NormEdge(u, v)})
 	if !sub.IsConnected() {
 		return false

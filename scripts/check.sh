@@ -1,0 +1,31 @@
+#!/bin/sh
+# Pre-PR gate: formatting, vet, build, determinism lint, race detector,
+# and the dccdebug deep-assertion test run. Everything here must pass
+# before a change ships (see README "Development").
+set -e
+cd "$(dirname "$0")/.."
+
+echo '== gofmt'
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: needs formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo '== go vet'
+go vet ./...
+
+echo '== go build'
+go build ./...
+
+echo '== dcclint'
+go run ./cmd/dcclint ./...
+
+echo '== go test -race'
+go test -race ./...
+
+echo '== go test -tags dccdebug'
+go test -tags dccdebug ./...
+
+echo 'check.sh: all gates passed'
