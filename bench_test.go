@@ -11,6 +11,7 @@ package dcc_test
 // harness itself imports dcc.
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -60,6 +61,26 @@ func BenchmarkFig3ConfineSize(b *testing.B) {
 		if res.Ratio[len(res.Ratio)-1] >= 1 {
 			b.Fatal("figure 3 shape wrong: no savings at max tau")
 		}
+	}
+}
+
+// BenchmarkFig3Workers measures the worker-pool scaling of Figure 3's
+// Monte-Carlo loop: the same experiment fanned over 1, 2, and 4 workers.
+// Output is byte-identical for every variant (see internal/experiments
+// equivalence tests); only wall-clock should move, and only on multi-CPU
+// machines.
+func BenchmarkFig3Workers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Runs = 4
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Figure3(io.Discard, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -31,22 +31,24 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dccsim", flag.ContinueOnError)
 	var (
-		fig    = fs.String("fig", "all", "figure to regenerate: 1..7, 'engines', 'loss', 'rotation', comma-separated, or 'all'")
-		seed   = fs.Int64("seed", 1, "random seed")
-		runs   = fs.Int("runs", 0, "random repetitions (0 = preset default)")
-		nodes  = fs.Int("nodes", 0, "deployment size (0 = preset default)")
-		maxTau = fs.Int("maxtau", 0, "largest confine size for Figure 3 (0 = preset default)")
-		full   = fs.Bool("full", false, "paper-scale presets (1600 nodes; slow) instead of quick presets")
+		fig     = fs.String("fig", "all", "figure to regenerate: 1..7, 'engines', 'loss', 'rotation', comma-separated, or 'all'")
+		seed    = fs.Int64("seed", 1, "random seed")
+		runs    = fs.Int("runs", 0, "random repetitions (0 = preset default)")
+		nodes   = fs.Int("nodes", 0, "deployment size (0 = preset default)")
+		maxTau  = fs.Int("maxtau", 0, "largest confine size for Figure 3 (0 = preset default)")
+		full    = fs.Bool("full", false, "paper-scale presets (1600 nodes; slow) instead of quick presets")
+		workers = fs.Int("workers", 0, "concurrent Monte-Carlo runs (0 = all CPUs, 1 = sequential; output is identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := experiments.Config{
-		Seed:   *seed,
-		Runs:   *runs,
-		Nodes:  *nodes,
-		MaxTau: *maxTau,
-		Quick:  !*full,
+		Seed:    *seed,
+		Runs:    *runs,
+		Nodes:   *nodes,
+		MaxTau:  *maxTau,
+		Quick:   !*full,
+		Workers: *workers,
 	}
 
 	want := map[string]bool{}

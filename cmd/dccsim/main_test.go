@@ -20,3 +20,13 @@ func TestRunFigure1(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunWorkersFlag(t *testing.T) {
+	// -workers reaches the engine; any value must be accepted and produce
+	// the same figure (byte equivalence is covered in internal/experiments).
+	for _, w := range []string{"1", "4"} {
+		if err := run([]string{"-fig", "6", "-nodes", "60", "-runs", "1", "-workers", w}); err != nil {
+			t.Fatalf("workers=%s: %v", w, err)
+		}
+	}
+}

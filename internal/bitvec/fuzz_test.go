@@ -1,0 +1,125 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// vectorFromBytes builds a length-8·len(data) vector whose bits follow the
+// byte stream (bit i of byte j → index 8j+i), padded to n when longer.
+func vectorFromBytes(n int, data []byte) Vector {
+	v := New(n)
+	for j, b := range data {
+		for i := 0; i < 8; i++ {
+			idx := 8*j + i
+			if idx >= n {
+				return v
+			}
+			v.Set(idx, b&(1<<i) != 0)
+		}
+	}
+	return v
+}
+
+// FuzzVectorXOR checks the GF(2) group laws of Vector addition on
+// arbitrary bit patterns: XOR is self-inverse, commutative, has the zero
+// vector as identity, every element is its own inverse, and popcount
+// parity is additive.
+func FuzzVectorXOR(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{0x01}, []byte{0xff})
+	f.Add([]byte{0xaa, 0x55, 0x00, 0xf0}, []byte{0x0f, 0x12})
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03, 0x04, 0x05}, []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x80})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		n := 8 * max(len(a), len(b))
+		if n == 0 {
+			n = 1
+		}
+		va := vectorFromBytes(n, a)
+		vb := vectorFromBytes(n, b)
+
+		sum := va.Add(vb)
+		if !sum.Add(vb).Equal(va) {
+			t.Fatalf("XOR not self-inverse: (a⊕b)⊕b != a for a=%s b=%s", va, vb)
+		}
+		if !sum.Equal(vb.Add(va)) {
+			t.Fatalf("XOR not commutative for a=%s b=%s", va, vb)
+		}
+		if !va.Add(New(n)).Equal(va) {
+			t.Fatalf("zero vector is not the identity for a=%s", va)
+		}
+		if !va.Add(va).IsZero() {
+			t.Fatalf("a⊕a != 0 for a=%s", va)
+		}
+		if (sum.PopCount()+2*va.And(vb).PopCount())%2 != (va.PopCount()+vb.PopCount())%2 {
+			t.Fatalf("popcount parity broken: |a⊕b|=%d |a|=%d |b|=%d",
+				sum.PopCount(), va.PopCount(), vb.PopCount())
+		}
+		// In-place Xor must agree with the allocating Add.
+		inPlace := va.Clone()
+		inPlace.Xor(vb)
+		if !inPlace.Equal(sum) {
+			t.Fatalf("Xor (in place) disagrees with Add for a=%s b=%s", va, vb)
+		}
+	})
+}
+
+// FuzzRank checks the rank laws of Gaussian elimination over GF(2) on
+// arbitrary row sets: rank never exceeds the dimension or the row count,
+// rank is invariant under any permutation of insertion order (row swaps),
+// and inserting a GF(2) combination of stored rows never raises the rank.
+func FuzzRank(f *testing.F) {
+	f.Add([]byte{}, uint8(0), int64(0))
+	f.Add([]byte{0x01, 0x02, 0x03}, uint8(3), int64(1))
+	f.Add([]byte{0xff, 0xff, 0x0f, 0xf0, 0x33, 0xcc}, uint8(2), int64(7))
+	f.Add([]byte{0x80, 0x40, 0x20, 0x10, 0x08, 0x04, 0x02, 0x01}, uint8(8), int64(42))
+	f.Fuzz(func(t *testing.T, data []byte, rowLen uint8, permSeed int64) {
+		// Slice data into rows of rowLen bytes (dimension 8·rowLen bits).
+		w := int(rowLen%16) + 1
+		n := 8 * w
+		var rows []Vector
+		for i := 0; i+w <= len(data) && len(rows) < 64; i += w {
+			rows = append(rows, vectorFromBytes(n, data[i:i+w]))
+		}
+
+		e := NewEchelon(n)
+		for _, r := range rows {
+			e.Insert(r)
+		}
+		if e.Rank() > n {
+			t.Fatalf("rank %d exceeds dimension %d", e.Rank(), n)
+		}
+		if e.Rank() > len(rows) {
+			t.Fatalf("rank %d exceeds row count %d", e.Rank(), len(rows))
+		}
+
+		// Row swaps: any insertion order yields the same rank.
+		perm := rand.New(rand.NewSource(permSeed)).Perm(len(rows))
+		shuffled := NewEchelon(n)
+		for _, i := range perm {
+			shuffled.Insert(rows[i])
+		}
+		if shuffled.Rank() != e.Rank() {
+			t.Fatalf("rank depends on insertion order: %d vs %d", shuffled.Rank(), e.Rank())
+		}
+
+		// A GF(2) combination of stored rows is dependent: rank must not
+		// move, and the echelon must report that it spans the combination.
+		if len(rows) >= 2 {
+			combo := rows[0].Add(rows[len(rows)-1])
+			before := e.Rank()
+			if e.Insert(combo) && before == e.Rank() {
+				t.Fatalf("Insert reported independence without raising rank")
+			}
+			if e.Rank() > before {
+				// combo may be independent only if it is NOT a combination
+				// of *inserted* rows; rows[0] and rows[len-1] were inserted,
+				// so their sum is always dependent.
+				t.Fatalf("rank rose on a GF(2) combination of inserted rows")
+			}
+			if !e.Spans(combo) {
+				t.Fatalf("echelon does not span a combination of its own rows")
+			}
+		}
+	})
+}

@@ -23,13 +23,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
 
 	"dcc/internal/bitvec"
 	"dcc/internal/cycles"
 	"dcc/internal/graph"
+	"dcc/internal/runner"
 	"dcc/internal/vpt"
 )
 
@@ -271,10 +270,6 @@ func scheduleParallel(net Network, opts Options) (Result, error) {
 	g := net.G
 	k := vpt.NeighborhoodRadius(opts.Tau)
 	m := vpt.IndependenceRadius(opts.Tau)
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 
 	// dirty marks nodes whose neighbourhood changed since their last test;
 	// everything starts dirty. Clean nodes previously tested not-deletable
@@ -296,19 +291,12 @@ func scheduleParallel(net Network, opts Options) (Result, error) {
 			}
 		}
 		sort.Slice(toTest, func(i, j int) bool { return toTest[i] < toTest[j] })
-		results := make([]bool, len(toTest))
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, workers)
-		for i, v := range toTest {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(i int, v graph.NodeID) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				results[i] = vpt.VertexDeletable(g, v, opts.Tau)
-			}(i, v)
-		}
-		wg.Wait()
+		// Deletability of distinct vertices is independent given a fixed
+		// graph, so the tests fan out on the deterministic pool; the result
+		// slice is index-ordered regardless of opts.Workers.
+		results, _ := runner.Map(len(toTest), opts.Workers, func(i int) (bool, error) {
+			return vpt.VertexDeletable(g, toTest[i], opts.Tau), nil
+		})
 		stats.Tests += len(toTest)
 		for i, v := range toTest {
 			deletable[v] = results[i]

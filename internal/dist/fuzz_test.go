@@ -1,0 +1,66 @@
+package dist
+
+import (
+	"reflect"
+	"testing"
+
+	"dcc/internal/graph"
+)
+
+// FuzzFrameRoundTrip feeds arbitrary bytes to the wire-format decoder. Two
+// properties must hold for every input:
+//
+//  1. DecodeFrame never panics (malformed radio frames are a runtime
+//     condition, not a programming error), and
+//  2. any frame that decodes re-encodes losslessly: for the decoded packet
+//     sequence f, decode(encode(f)) == f. (The byte images may differ —
+//     the decoder tolerates non-minimal uvarints the encoder never emits —
+//     so the law is stated on packets, not bytes.)
+func FuzzFrameRoundTrip(f *testing.F) {
+	// Seed corpus: one frame per packet kind, a multi-packet frame, and
+	// classic malformed shapes (bad version, truncations, trailing bytes).
+	helloFrame, err := EncodeFrame([]Packet{{Kind: MsgHello, Owner: 2, Neighbors: []graph.NodeID{3, 4, 9}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	candFrame, err := EncodeFrame([]Packet{{Kind: MsgCandidate, Origin: 5, Priority: 0xDEADBEEF01020304}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	mixed, err := EncodeFrame([]Packet{
+		{Kind: MsgDelete, Origin: 7},
+		{Kind: MsgHello, Owner: 0, Neighbors: nil},
+		{Kind: MsgCandidate, Origin: 1, Priority: 42},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(helloFrame)
+	f.Add(candFrame)
+	f.Add(mixed)
+	f.Add([]byte{})
+	f.Add([]byte{2, 1, 3, 7})                         // wrong version
+	f.Add([]byte{1})                                  // missing count
+	f.Add([]byte{1, 1})                               // count without packet
+	f.Add([]byte{1, 1, 1, 2, 200})                    // HELLO with truncated neighbor count
+	f.Add(append(mixed, 0xee))                        // trailing byte
+	f.Add([]byte{1, 2, 2, 1, 0, 0, 0, 0, 0, 0, 0, 1}) // CANDIDATE then truncated packet
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		packets, err := DecodeFrame(frame) // must not panic on any input
+		if err != nil {
+			return
+		}
+		reencoded, err := EncodeFrame(packets)
+		if err != nil {
+			t.Fatalf("decoded frame failed to re-encode: %v\npackets: %+v", err, packets)
+		}
+		again, err := DecodeFrame(reencoded)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(packets, again) {
+			t.Fatalf("round trip not lossless:\nfirst:  %+v\nsecond: %+v", packets, again)
+		}
+	})
+}

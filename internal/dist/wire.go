@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 
 	"dcc/internal/graph"
 )
@@ -123,6 +124,11 @@ func DecodeFrame(frame []byte) ([]Packet, error) {
 		v, n := binary.Uvarint(rest)
 		if n <= 0 {
 			return 0, ErrBadFrame
+		}
+		if v > math.MaxInt64 || graph.NodeID(v) < 0 {
+			// IDs are non-negative ints; a uvarint above that range can
+			// never have been produced by the encoder.
+			return 0, fmt.Errorf("%w: node id %d out of range", ErrBadFrame, v)
 		}
 		rest = rest[n:]
 		return graph.NodeID(v), nil

@@ -7,6 +7,7 @@ import (
 
 	"dcc"
 	"dcc/internal/dist"
+	"dcc/internal/runner"
 	"dcc/internal/stats"
 )
 
@@ -26,44 +27,70 @@ type EnginesResult struct {
 	Rounds, Broadcasts, KBytes float64
 }
 
+// enginesRun is one Monte-Carlo run of the engines ablation.
+type enginesRun struct {
+	kept, tests            [3]float64
+	rounds, bcasts, kbytes float64
+}
+
 // AblationEngines quantifies what distribution costs: all three engines
 // must land on locally-maximal coverage sets of comparable size; the
-// distributed protocol pays communication for it.
+// distributed protocol pays communication for it. Runs execute on the
+// worker pool; means are computed after the barrier in run order.
 func AblationEngines(w io.Writer, cfg Config) (EnginesResult, error) {
 	cfg = cfg.withDefaults()
 	tau := 4
 	out := EnginesResult{Tau: tau}
+	perRun, err := runner.Map(cfg.Runs, cfg.Workers, func(run int) (enginesRun, error) {
+		dep, err := cfg.deploy(runner.DeriveSeed(cfg.Seed, streamEnginesDeploy, run), math.Sqrt(3))
+		if err != nil {
+			return enginesRun{}, err
+		}
+		scheduleSeed := runner.DeriveSeed(cfg.Seed, streamEnginesSchedule, run)
+		seq, err := dep.ScheduleDCC(tau, dcc.ScheduleOptions{Seed: scheduleSeed})
+		if err != nil {
+			return enginesRun{}, err
+		}
+		par, err := dep.ScheduleDCC(tau, dcc.ScheduleOptions{
+			Seed: scheduleSeed, Parallel: true, Workers: cfg.Workers,
+		})
+		if err != nil {
+			return enginesRun{}, err
+		}
+		dst, err := dep.ScheduleDCCDistributed(dist.Config{Tau: tau, Seed: scheduleSeed})
+		if err != nil {
+			return enginesRun{}, err
+		}
+		return enginesRun{
+			kept: [3]float64{
+				float64(len(seq.KeptInternal)),
+				float64(len(par.KeptInternal)),
+				float64(len(dst.KeptInternal)),
+			},
+			tests: [3]float64{
+				float64(seq.Stats.Tests),
+				float64(par.Stats.Tests),
+				float64(dst.Stats.Tests),
+			},
+			rounds: float64(dst.Stats.SuperRounds),
+			bcasts: float64(dst.Stats.Broadcasts),
+			kbytes: float64(dst.Stats.BytesSent) / 1024,
+		}, nil
+	})
+	if err != nil {
+		return EnginesResult{}, err
+	}
 	var kept [3][]float64
 	var tests [3][]float64
 	var rounds, bcasts, kbytes []float64
-	for run := 0; run < cfg.Runs; run++ {
-		dep, err := cfg.deploy(cfg.Seed+int64(run)*13_007, math.Sqrt(3))
-		if err != nil {
-			return EnginesResult{}, err
+	for _, r := range perRun {
+		for e := 0; e < 3; e++ {
+			kept[e] = append(kept[e], r.kept[e])
+			tests[e] = append(tests[e], r.tests[e])
 		}
-		seq, err := dep.ScheduleDCC(tau, dcc.ScheduleOptions{Seed: cfg.Seed + int64(run)})
-		if err != nil {
-			return EnginesResult{}, err
-		}
-		par, err := dep.ScheduleDCC(tau, dcc.ScheduleOptions{
-			Seed: cfg.Seed + int64(run), Parallel: true, Workers: cfg.Workers,
-		})
-		if err != nil {
-			return EnginesResult{}, err
-		}
-		dst, err := dep.ScheduleDCCDistributed(dist.Config{Tau: tau, Seed: cfg.Seed + int64(run)})
-		if err != nil {
-			return EnginesResult{}, err
-		}
-		kept[0] = append(kept[0], float64(len(seq.KeptInternal)))
-		kept[1] = append(kept[1], float64(len(par.KeptInternal)))
-		kept[2] = append(kept[2], float64(len(dst.KeptInternal)))
-		tests[0] = append(tests[0], float64(seq.Stats.Tests))
-		tests[1] = append(tests[1], float64(par.Stats.Tests))
-		tests[2] = append(tests[2], float64(dst.Stats.Tests))
-		rounds = append(rounds, float64(dst.Stats.SuperRounds))
-		bcasts = append(bcasts, float64(dst.Stats.Broadcasts))
-		kbytes = append(kbytes, float64(dst.Stats.BytesSent)/1024)
+		rounds = append(rounds, r.rounds)
+		bcasts = append(bcasts, r.bcasts)
+		kbytes = append(kbytes, r.kbytes)
 	}
 	out.KeptSequential = stats.Mean(kept[0])
 	out.KeptParallel = stats.Mean(kept[1])
@@ -98,12 +125,22 @@ type LossResult struct {
 	Broadcasts []float64
 }
 
+// lossRun is one Monte-Carlo run at one loss rate; skip marks runs on
+// pathological deployments (no achievable τ).
+type lossRun struct {
+	skip         bool
+	kept, bcasts float64
+	ok           float64
+}
+
 // AblationLoss stresses the distributed protocol under increasing per-link
 // message loss. Liveness must hold at every rate; the documented safety
 // caveat (simultaneous nearby winners under lost candidate floods) shows
 // up, if at all, as a sub-unit CriterionOK fraction. Each run uses the
 // smallest confine size its network satisfies initially (Theorem 5's
 // precondition), so loss-free runs must always preserve the criterion.
+// Runs within each loss rate execute on the worker pool; the same derived
+// per-run seeds are reused at every rate, keeping the sweep paired.
 func AblationLoss(w io.Writer, cfg Config) (LossResult, error) {
 	cfg = cfg.withDefaults()
 	out := LossResult{LossRates: []float64{0, 0.05, 0.1, 0.2, 0.3}}
@@ -111,36 +148,48 @@ func AblationLoss(w io.Writer, cfg Config) (LossResult, error) {
 		out.LossRates = []float64{0, 0.1, 0.3}
 	}
 	for _, loss := range out.LossRates {
-		var kept, okRuns, bcasts []float64
-		for run := 0; run < cfg.Runs; run++ {
-			dep, err := cfg.deploy(cfg.Seed+int64(run)*17_389, math.Sqrt(3))
+		perRun, err := runner.Map(cfg.Runs, cfg.Workers, func(run int) (lossRun, error) {
+			dep, err := cfg.deploy(runner.DeriveSeed(cfg.Seed, streamLossDeploy, run), math.Sqrt(3))
 			if err != nil {
-				return LossResult{}, err
+				return lossRun{}, err
 			}
 			tau, err := dep.AchievableTau(8)
 			if err != nil {
-				continue // pathological deployment; skip the run
+				return lossRun{skip: true}, nil // pathological deployment; skip the run
 			}
 			if tau < 4 {
 				tau = 4
 			}
 			res, err := dep.ScheduleDCCDistributed(dist.Config{
-				Tau: tau, Seed: cfg.Seed + int64(run), Loss: loss,
+				Tau: tau, Seed: runner.DeriveSeed(cfg.Seed, streamLossSchedule, run), Loss: loss,
 			})
 			if err != nil {
-				return LossResult{}, err
+				return lossRun{}, err
 			}
 			ok, err := dep.VerifyConfine(res.Final, tau)
 			if err != nil {
-				return LossResult{}, err
+				return lossRun{}, err
 			}
-			kept = append(kept, float64(len(res.KeptInternal)))
+			r := lossRun{
+				kept:   float64(len(res.KeptInternal)),
+				bcasts: float64(res.Stats.Broadcasts),
+			}
 			if ok {
-				okRuns = append(okRuns, 1)
-			} else {
-				okRuns = append(okRuns, 0)
+				r.ok = 1
 			}
-			bcasts = append(bcasts, float64(res.Stats.Broadcasts))
+			return r, nil
+		})
+		if err != nil {
+			return LossResult{}, err
+		}
+		var kept, okRuns, bcasts []float64
+		for _, r := range perRun {
+			if r.skip {
+				continue
+			}
+			kept = append(kept, r.kept)
+			okRuns = append(okRuns, r.ok)
+			bcasts = append(bcasts, r.bcasts)
 		}
 		out.Kept = append(out.Kept, stats.Mean(kept))
 		out.CriterionOK = append(out.CriterionOK, stats.Mean(okRuns))
@@ -165,25 +214,41 @@ type QuasiUDGResult struct {
 	OKUDG, OKQuasi     float64
 }
 
+// quasiModelRun is the outcome for one link model within a run; have is
+// false when the deployment had no achievable τ under that model.
+type quasiModelRun struct {
+	have     bool
+	kept, ok float64
+}
+
+// quasiRun is one Monte-Carlo run of the link-model ablation.
+type quasiRun struct {
+	udg, quasi quasiModelRun
+}
+
 // AblationQuasiUDG supports the paper's claim (§VI-B) that the algorithm
 // does not rely on the unit-disk model: scheduling runs unchanged on
 // quasi-UDG connectivity (links between 0.6·Rc and Rc exist only with
-// probability ½) and still preserves the criterion.
+// probability ½) and still preserves the criterion. Runs execute on the
+// worker pool; both link models share one derived seed per run, keeping
+// the comparison paired.
 func AblationQuasiUDG(w io.Writer, cfg Config) (QuasiUDGResult, error) {
 	cfg = cfg.withDefaults()
 	out := QuasiUDGResult{Tau: 5}
-	var keptU, keptQ, okU, okQ []float64
-	for run := 0; run < cfg.Runs; run++ {
+	perRun, err := runner.Map(cfg.Runs, cfg.Workers, func(run int) (quasiRun, error) {
+		var r quasiRun
+		deploySeed := runner.DeriveSeed(cfg.Seed, streamQuasiDeploy, run)
+		scheduleSeed := runner.DeriveSeed(cfg.Seed, streamQuasiSchedule, run)
 		for _, model := range []dcc.LinkModel{dcc.UDG, dcc.QuasiUDG} {
 			dep, err := dcc.Deploy(dcc.DeployOptions{
 				Nodes:     cfg.Nodes,
 				AvgDegree: cfg.AvgDegree,
 				Gamma:     1.0,
-				Seed:      cfg.Seed + int64(run)*7_561,
+				Seed:      deploySeed,
 				Model:     model,
 			})
 			if err != nil {
-				return QuasiUDGResult{}, err
+				return quasiRun{}, err
 			}
 			// Use the smallest τ the network satisfies (≥ 5) so the
 			// preservation guarantee applies under both models.
@@ -194,26 +259,38 @@ func AblationQuasiUDG(w io.Writer, cfg Config) (QuasiUDGResult, error) {
 			if tau < out.Tau {
 				tau = out.Tau
 			}
-			res, err := dep.ScheduleDCC(tau, dcc.ScheduleOptions{Seed: cfg.Seed + int64(run)})
+			res, err := dep.ScheduleDCC(tau, dcc.ScheduleOptions{Seed: scheduleSeed})
 			if err != nil {
-				return QuasiUDGResult{}, err
+				return quasiRun{}, err
 			}
 			ok, err := dep.VerifyConfine(res.Final, tau)
 			if err != nil {
-				return QuasiUDGResult{}, err
+				return quasiRun{}, err
 			}
-			kept := float64(len(res.KeptInternal))
-			okv := 0.0
+			m := quasiModelRun{have: true, kept: float64(len(res.KeptInternal))}
 			if ok {
-				okv = 1
+				m.ok = 1
 			}
 			if model == dcc.UDG {
-				keptU = append(keptU, kept)
-				okU = append(okU, okv)
+				r.udg = m
 			} else {
-				keptQ = append(keptQ, kept)
-				okQ = append(okQ, okv)
+				r.quasi = m
 			}
+		}
+		return r, nil
+	})
+	if err != nil {
+		return QuasiUDGResult{}, err
+	}
+	var keptU, keptQ, okU, okQ []float64
+	for _, r := range perRun {
+		if r.udg.have {
+			keptU = append(keptU, r.udg.kept)
+			okU = append(okU, r.udg.ok)
+		}
+		if r.quasi.have {
+			keptQ = append(keptQ, r.quasi.kept)
+			okQ = append(okQ, r.quasi.ok)
 		}
 	}
 	out.KeptUDG = stats.Mean(keptU)
@@ -236,21 +313,26 @@ type RotationResultSummary struct {
 	PerEpoch, Distinct, MaxDuty float64
 }
 
+// rotationRun is one Monte-Carlo run of the rotation ablation.
+type rotationRun struct {
+	perEpoch, distinct, maxDuty float64
+}
+
 // AblationRotation measures how well duty-biased rescheduling spreads load
-// across epochs (the lifetime application of §III-B).
+// across epochs (the lifetime application of §III-B). Runs execute on the
+// worker pool.
 func AblationRotation(w io.Writer, cfg Config) (RotationResultSummary, error) {
 	cfg = cfg.withDefaults()
 	const epochs = 5
 	tau := 5
-	var perEpoch, distinct, maxDuty []float64
-	for run := 0; run < cfg.Runs; run++ {
-		dep, err := cfg.deploy(cfg.Seed+int64(run)*23_567, 1.0)
+	perRun, err := runner.Map(cfg.Runs, cfg.Workers, func(run int) (rotationRun, error) {
+		dep, err := cfg.deploy(runner.DeriveSeed(cfg.Seed, streamRotationDeploy, run), 1.0)
 		if err != nil {
-			return RotationResultSummary{}, err
+			return rotationRun{}, err
 		}
-		rot, err := dep.Rotate(tau, epochs, cfg.Seed+int64(run))
+		rot, err := dep.Rotate(tau, epochs, runner.DeriveSeed(cfg.Seed, streamRotationSchedule, run))
 		if err != nil {
-			return RotationResultSummary{}, err
+			return rotationRun{}, err
 		}
 		duty := make(map[dcc.NodeID]int)
 		total := 0
@@ -266,9 +348,20 @@ func AblationRotation(w io.Writer, cfg Config) (RotationResultSummary, error) {
 				worst = d
 			}
 		}
-		perEpoch = append(perEpoch, float64(total)/epochs)
-		distinct = append(distinct, float64(len(duty)))
-		maxDuty = append(maxDuty, float64(worst))
+		return rotationRun{
+			perEpoch: float64(total) / epochs,
+			distinct: float64(len(duty)),
+			maxDuty:  float64(worst),
+		}, nil
+	})
+	if err != nil {
+		return RotationResultSummary{}, err
+	}
+	var perEpoch, distinct, maxDuty []float64
+	for _, r := range perRun {
+		perEpoch = append(perEpoch, r.perEpoch)
+		distinct = append(distinct, r.distinct)
+		maxDuty = append(maxDuty, r.maxDuty)
 	}
 	out := RotationResultSummary{
 		Epochs:   epochs,

@@ -1,0 +1,10 @@
+//go:build dccdebug
+
+package experiments
+
+// equivalenceWorkers under the dccdebug deep-assertion build: the per
+// super-round MIS assertions make distributed runs several times more
+// expensive, so the matrix shrinks to the sequential path plus one
+// parallel width. The full {1, 2, 4, 8} matrix runs in the default -race
+// gate (equivalence_workers_default_test.go).
+var equivalenceWorkers = []int{1, 4}

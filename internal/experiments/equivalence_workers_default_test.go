@@ -1,0 +1,7 @@
+//go:build !dccdebug
+
+package experiments
+
+// equivalenceWorkers is the full worker matrix of the determinism
+// acceptance criterion; the -race gate runs it in this configuration.
+var equivalenceWorkers = []int{1, 2, 4, 8}

@@ -6,6 +6,13 @@
 // synthetic trace), but the shapes the paper argues from — who wins, by
 // roughly what factor, where the knees fall — are reproduced. EXPERIMENTS.md
 // records paper-vs-measured values.
+//
+// Every Monte-Carlo loop runs on the deterministic worker pool of
+// internal/runner: each run is a pure runOne(run) closure with its own
+// seed derived from runner.DeriveSeed(cfg.Seed, stream, run), results are
+// merged in run-index order after the barrier, and all text is emitted
+// only after the merge — so every series and every byte of output is
+// identical for any Workers value (the equivalence tests pin this).
 package experiments
 
 import (
@@ -19,9 +26,51 @@ import (
 	"dcc/internal/cycles"
 	"dcc/internal/hgc"
 	"dcc/internal/nets"
+	"dcc/internal/runner"
 	"dcc/internal/stats"
 	"dcc/internal/trace"
 )
+
+// Seed streams of the harness. Every randomized draw derives its seed as
+// runner.DeriveSeed(cfg.Seed, stream, run); distinct streams keep the
+// figure runners' randomness disjoint no matter how many runners exist
+// (TestSeedDerivationDisjoint checks all of them for Runs ≤ 10000).
+const (
+	streamFig2Deploy uint64 = iota + 1
+	streamFig2Schedule
+	streamFig3Deploy
+	streamFig3Schedule
+	streamFig4Deploy
+	streamFig4Schedule
+	streamTrace // Figures 5–7 share one synthetic trace
+	streamEnginesDeploy
+	streamEnginesSchedule
+	streamLossDeploy
+	streamLossSchedule
+	streamQuasiDeploy
+	streamQuasiSchedule
+	streamRotationDeploy
+	streamRotationSchedule
+)
+
+// seedStreams names every stream above for the disjointness test.
+var seedStreams = map[string]uint64{
+	"fig2-deploy":       streamFig2Deploy,
+	"fig2-schedule":     streamFig2Schedule,
+	"fig3-deploy":       streamFig3Deploy,
+	"fig3-schedule":     streamFig3Schedule,
+	"fig4-deploy":       streamFig4Deploy,
+	"fig4-schedule":     streamFig4Schedule,
+	"trace":             streamTrace,
+	"engines-deploy":    streamEnginesDeploy,
+	"engines-schedule":  streamEnginesSchedule,
+	"loss-deploy":       streamLossDeploy,
+	"loss-schedule":     streamLossSchedule,
+	"quasi-deploy":      streamQuasiDeploy,
+	"quasi-schedule":    streamQuasiSchedule,
+	"rotation-deploy":   streamRotationDeploy,
+	"rotation-schedule": streamRotationSchedule,
+}
 
 // Config scales the harness. The zero value is filled with paper-like
 // parameters; Quick selects a reduced configuration suitable for CI and
@@ -39,7 +88,8 @@ type Config struct {
 	MaxTau int
 	// Quick shrinks everything for fast runs.
 	Quick bool
-	// Workers bounds scheduler concurrency (0 = GOMAXPROCS).
+	// Workers bounds the number of Monte-Carlo runs in flight at once
+	// (0 = GOMAXPROCS, 1 = sequential). Results are worker-count-invariant.
 	Workers int
 }
 
@@ -158,7 +208,8 @@ type Figure2Result struct {
 }
 
 // Figure2 reproduces the visual experiment of Figure 2: one random
-// network, maximal vertex deletion for τ = 3..6.
+// network, maximal vertex deletion for τ = 3..6. The four per-τ schedules
+// are independent jobs and run on the worker pool.
 func Figure2(w io.Writer, cfg Config) (Figure2Result, error) {
 	cfg = cfg.withDefaults()
 	n := cfg.Nodes
@@ -167,19 +218,23 @@ func Figure2(w io.Writer, cfg Config) (Figure2Result, error) {
 	}
 	sub := cfg
 	sub.Nodes = n
-	dep, err := sub.deploy(cfg.Seed, math.Sqrt(3))
+	dep, err := sub.deploy(runner.DeriveSeed(cfg.Seed, streamFig2Deploy, 0), math.Sqrt(3))
+	if err != nil {
+		return Figure2Result{}, err
+	}
+	taus := []int{3, 4, 5, 6}
+	results, err := runner.Map(len(taus), cfg.Workers, func(i int) (dcc.ScheduleResult, error) {
+		return dep.ScheduleDCC(taus[i], dcc.ScheduleOptions{
+			Seed: runner.DeriveSeed(cfg.Seed, streamFig2Schedule, i),
+		})
+	})
 	if err != nil {
 		return Figure2Result{}, err
 	}
 	out := Figure2Result{Dep: dep}
 	fmt.Fprintf(w, "Figure 2 — maximal vertex deletion snapshots (n=%d)\n", dep.G.NumNodes())
-	for tau := 3; tau <= 6; tau++ {
-		res, err := dep.ScheduleDCC(tau, dcc.ScheduleOptions{
-			Seed: cfg.Seed,
-		})
-		if err != nil {
-			return Figure2Result{}, err
-		}
+	for i, tau := range taus {
+		res := results[i]
 		out.Taus = append(out.Taus, tau)
 		out.KeptInternal = append(out.KeptInternal, len(res.KeptInternal))
 		out.Results = append(out.Results, res)
@@ -200,35 +255,46 @@ type Figure3Result struct {
 }
 
 // Figure3 reproduces the confine-size sweep: the number of nodes in the
-// coverage set, normalized by the τ=3 result, for τ = 3..MaxTau.
+// coverage set, normalized by the τ=3 result, for τ = 3..MaxTau. Runs are
+// independent Monte-Carlo jobs on the worker pool.
 func Figure3(w io.Writer, cfg Config) (Figure3Result, error) {
 	cfg = cfg.withDefaults()
 	taus := make([]int, 0, cfg.MaxTau-2)
 	for tau := 3; tau <= cfg.MaxTau; tau++ {
 		taus = append(taus, tau)
 	}
-	samples := make([][]float64, len(taus))
-	for run := 0; run < cfg.Runs; run++ {
-		dep, err := cfg.deploy(cfg.Seed+int64(run)*7_919, math.Sqrt(3))
+	perRun, err := runner.Map(cfg.Runs, cfg.Workers, func(run int) ([]float64, error) {
+		dep, err := cfg.deploy(runner.DeriveSeed(cfg.Seed, streamFig3Deploy, run), math.Sqrt(3))
 		if err != nil {
-			return Figure3Result{}, err
+			return nil, err
 		}
+		scheduleSeed := runner.DeriveSeed(cfg.Seed, streamFig3Schedule, run)
+		ratios := make([]float64, len(taus))
 		var base float64
 		for i, tau := range taus {
-			res, err := dep.ScheduleDCC(tau, dcc.ScheduleOptions{
-				Seed: cfg.Seed + int64(run),
-			})
+			res, err := dep.ScheduleDCC(tau, dcc.ScheduleOptions{Seed: scheduleSeed})
 			if err != nil {
-				return Figure3Result{}, err
+				return nil, err
 			}
 			size := float64(len(res.KeptInternal))
 			if i == 0 {
-				base = size
-				if base == 0 {
-					base = 1
+				if size == 0 {
+					return nil, fmt.Errorf(
+						"experiments: figure 3 run %d: τ=3 coverage set kept no internal nodes; normalized ratios are undefined (deployment too small or dense for a meaningful τ=3 baseline)", run)
 				}
+				base = size
 			}
-			samples[i] = append(samples[i], size/base)
+			ratios[i] = size / base
+		}
+		return ratios, nil
+	})
+	if err != nil {
+		return Figure3Result{}, err
+	}
+	samples := make([][]float64, len(taus))
+	for _, ratios := range perRun {
+		for i := range taus {
+			samples[i] = append(samples[i], ratios[i])
 		}
 	}
 	out := Figure3Result{Taus: taus}
@@ -259,10 +325,20 @@ type Figure4Result struct {
 	Lambda [][]float64
 }
 
+// fig4Run is one Monte-Carlo run of Figure 4: the λ contribution per
+// (Dmax, γ) cell, with has marking feasible cells. skip marks runs whose
+// HGC baseline was empty (no contribution at all).
+type fig4Run struct {
+	skip   bool
+	lambda [][]float64
+	has    [][]bool
+}
+
 // Figure4 compares DCC against HGC over sensing ratios γ ∈ [1,2] and
 // hole-diameter requirements {0, 0.4, 0.8, 1.2}·Rc. n1 is the HGC
 // (triangle-granularity) coverage-set size; n2 the DCC size at the largest
-// feasible τ (Proposition 1); λ = (n1−n2)/n1.
+// feasible τ (Proposition 1); λ = (n1−n2)/n1. Runs execute on the worker
+// pool; per-cell averages are accumulated in run order after the barrier.
 func Figure4(w io.Writer, cfg Config) (Figure4Result, error) {
 	cfg = cfg.withDefaults()
 	out := Figure4Result{
@@ -274,26 +350,21 @@ func Figure4(w io.Writer, cfg Config) (Figure4Result, error) {
 		out.Lambda[d] = make([]float64, len(out.Gammas))
 	}
 
-	type sample struct{ sum, n float64 }
-	acc := make([][]sample, len(out.DMaxes))
-	for d := range acc {
-		acc[d] = make([]sample, len(out.Gammas))
-	}
-
-	for run := 0; run < cfg.Runs; run++ {
+	perRun, err := runner.Map(cfg.Runs, cfg.Workers, func(run int) (fig4Run, error) {
 		// Rc (hence connectivity) is fixed; γ only rescales Rs, so one
 		// deployment serves every point of the sweep, like the paper.
-		dep, err := cfg.deploy(cfg.Seed+int64(run)*104_729, 2.0)
+		dep, err := cfg.deploy(runner.DeriveSeed(cfg.Seed, streamFig4Deploy, run), 2.0)
 		if err != nil {
-			return Figure4Result{}, err
+			return fig4Run{}, err
 		}
-		hgcRes, err := dep.ScheduleHGC(cfg.Seed + int64(run))
+		scheduleSeed := runner.DeriveSeed(cfg.Seed, streamFig4Schedule, run)
+		hgcRes, err := dep.ScheduleHGC(scheduleSeed)
 		if err != nil {
-			return Figure4Result{}, err
+			return fig4Run{}, err
 		}
 		n1 := float64(len(hgcRes.KeptInternal))
 		if n1 == 0 {
-			continue
+			return fig4Run{skip: true}, nil
 		}
 		// Cache DCC sizes per τ for this deployment.
 		dccSize := map[int]float64{3: float64(len(hgcRes.KeptInternal))}
@@ -301,9 +372,7 @@ func Figure4(w io.Writer, cfg Config) (Figure4Result, error) {
 			if s, ok := dccSize[tau]; ok {
 				return s, nil
 			}
-			res, err := dep.ScheduleDCC(tau, dcc.ScheduleOptions{
-				Seed: cfg.Seed + int64(run),
-			})
+			res, err := dep.ScheduleDCC(tau, dcc.ScheduleOptions{Seed: scheduleSeed})
 			if err != nil {
 				return 0, err
 			}
@@ -311,7 +380,13 @@ func Figure4(w io.Writer, cfg Config) (Figure4Result, error) {
 			dccSize[tau] = s
 			return s, nil
 		}
+		r := fig4Run{
+			lambda: make([][]float64, len(out.DMaxes)),
+			has:    make([][]bool, len(out.DMaxes)),
+		}
 		for d, dmax := range out.DMaxes {
+			r.lambda[d] = make([]float64, len(out.Gammas))
+			r.has[d] = make([]bool, len(out.Gammas))
 			for i, gamma := range out.Gammas {
 				tau, err := core.PlanTau(core.Requirement{Gamma: gamma, MaxHoleDiameter: dmax})
 				if err != nil {
@@ -322,11 +397,33 @@ func Figure4(w io.Writer, cfg Config) (Figure4Result, error) {
 				}
 				n2, err := sizeFor(tau)
 				if err != nil {
-					return Figure4Result{}, err
+					return fig4Run{}, err
 				}
-				lambda := (n1 - n2) / n1
-				acc[d][i].sum += lambda
-				acc[d][i].n++
+				r.lambda[d][i] = (n1 - n2) / n1
+				r.has[d][i] = true
+			}
+		}
+		return r, nil
+	})
+	if err != nil {
+		return Figure4Result{}, err
+	}
+
+	type sample struct{ sum, n float64 }
+	acc := make([][]sample, len(out.DMaxes))
+	for d := range acc {
+		acc[d] = make([]sample, len(out.Gammas))
+	}
+	for _, r := range perRun {
+		if r.skip {
+			continue
+		}
+		for d := range out.DMaxes {
+			for i := range out.Gammas {
+				if r.has[d][i] {
+					acc[d][i].sum += r.lambda[d][i]
+					acc[d][i].n++
+				}
 			}
 		}
 	}
@@ -357,7 +454,7 @@ func Figure4(w io.Writer, cfg Config) (Figure4Result, error) {
 // traceConfig derives the trace-synthesis configuration from the harness
 // configuration.
 func (c Config) traceConfig() trace.Config {
-	tc := trace.Config{Seed: c.Seed + 31_337}
+	tc := trace.Config{Seed: runner.DeriveSeed(c.Seed, streamTrace, 0)}
 	if c.Quick {
 		tc.InteriorNodes = 120
 		tc.Epochs = 40
@@ -412,7 +509,8 @@ type Figure6Result struct {
 }
 
 // Figure6 runs DCC on the trace topology for τ = 3..8 and reports the
-// number of internal nodes left, as in the paper's Figure 6.
+// number of internal nodes left, as in the paper's Figure 6. The per-τ
+// schedules are independent jobs on the worker pool.
 func Figure6(w io.Writer, cfg Config) (Figure6Result, error) {
 	cfg = cfg.withDefaults()
 	tr := trace.Generate(cfg.traceConfig())
@@ -424,6 +522,15 @@ func Figure6(w io.Writer, cfg Config) (Figure6Result, error) {
 	if err != nil {
 		return Figure6Result{}, fmt.Errorf("trace network: %w", err)
 	}
+	const firstTau, lastTau = 3, 8
+	results, err := runner.Map(lastTau-firstTau+1, cfg.Workers, func(i int) (core.Result, error) {
+		return core.Schedule(net, core.Options{
+			Tau: firstTau + i, Seed: cfg.Seed,
+		})
+	})
+	if err != nil {
+		return Figure6Result{}, err
+	}
 	out := Figure6Result{TotalInner: len(net.InternalNodes())}
 	series := stats.Series{Name: "left nodes"}
 	fmt.Fprintf(w, "Figure 6 — left internal nodes vs confine size (trace topology, %d internal nodes)\n",
@@ -431,13 +538,8 @@ func Figure6(w io.Writer, cfg Config) (Figure6Result, error) {
 	if minTau > 3 {
 		fmt.Fprintf(w, "  note: trace boundary becomes partitionable at τ=%d\n", minTau)
 	}
-	for tau := 3; tau <= 8; tau++ {
-		res, err := core.Schedule(net, core.Options{
-			Tau: tau, Seed: cfg.Seed,
-		})
-		if err != nil {
-			return Figure6Result{}, err
-		}
+	for i, res := range results {
+		tau := firstTau + i
 		out.Taus = append(out.Taus, tau)
 		out.LeftInner = append(out.LeftInner, len(res.KeptInternal))
 		series.X = append(series.X, float64(tau))
@@ -460,7 +562,8 @@ type Figure7Result struct {
 }
 
 // Figure7 reproduces the trace-topology snapshots: DCC for τ = 3..7, with
-// the number of inner-circle nodes left (paper: 17, 8, 6, 5, 4).
+// the number of inner-circle nodes left (paper: 17, 8, 6, 5, 4). The
+// per-τ schedules are independent jobs on the worker pool.
 func Figure7(w io.Writer, cfg Config) (Figure7Result, error) {
 	cfg = cfg.withDefaults()
 	tr := trace.Generate(cfg.traceConfig())
@@ -468,16 +571,20 @@ func Figure7(w io.Writer, cfg Config) (Figure7Result, error) {
 	if err != nil {
 		return Figure7Result{}, err
 	}
+	const firstTau, lastTau = 3, 7
+	results, err := runner.Map(lastTau-firstTau+1, cfg.Workers, func(i int) (core.Result, error) {
+		return core.Schedule(net, core.Options{
+			Tau: firstTau + i, Seed: cfg.Seed,
+		})
+	})
+	if err != nil {
+		return Figure7Result{}, err
+	}
 	out := Figure7Result{Trace: tr, Net: net}
 	fmt.Fprintf(w, "Figure 7 — trace-topology snapshots (%d nodes, %d boundary)\n",
 		net.G.NumNodes(), len(net.BoundaryCycles[0]))
-	for tau := 3; tau <= 7; tau++ {
-		res, err := core.Schedule(net, core.Options{
-			Tau: tau, Seed: cfg.Seed,
-		})
-		if err != nil {
-			return Figure7Result{}, err
-		}
+	for i, res := range results {
+		tau := firstTau + i
 		out.Taus = append(out.Taus, tau)
 		out.LeftInner = append(out.LeftInner, len(res.KeptInternal))
 		out.Results = append(out.Results, res)

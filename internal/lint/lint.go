@@ -35,6 +35,7 @@ var DeterministicPkgs = map[string]bool{
 	"dcc/internal/vpt":    true,
 	"dcc/internal/cycles": true,
 	"dcc/internal/core":   true,
+	"dcc/internal/runner": true,
 }
 
 // simPkgPrefix marks simulation/protocol code: wall-clock reads are banned

@@ -1,0 +1,137 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// workerCounts are the pool sizes every behaviour is checked under; 0
+// means GOMAXPROCS and 100 exceeds the job counts used in the tests.
+var workerCounts = []int{0, 1, 2, 3, 4, 8, 100}
+
+func TestMapResultsIndexOrdered(t *testing.T) {
+	const n = 137
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, w := range workerCounts {
+		got, err := Map(n, w, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: %d results, want %d", w, len(got), n)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	got, err := Map(0, 4, func(i int) (int, error) { return 1, nil })
+	if err != nil || got != nil {
+		t.Fatalf("n=0: got %v, %v", got, err)
+	}
+	got, err = Map(1, 8, func(i int) (int, error) { return 42, nil })
+	if err != nil || len(got) != 1 || got[0] != 42 {
+		t.Fatalf("n=1: got %v, %v", got, err)
+	}
+}
+
+func TestMapErrorIsLowestIndex(t *testing.T) {
+	const n = 60
+	errAt := map[int]error{
+		7:  errors.New("fail at 7"),
+		13: errors.New("fail at 13"),
+		55: errors.New("fail at 55"),
+	}
+	for _, w := range workerCounts {
+		_, err := Map(n, w, func(i int) (string, error) {
+			if e := errAt[i]; e != nil {
+				return "", e
+			}
+			return "ok", nil
+		})
+		if err != errAt[7] {
+			t.Fatalf("workers=%d: err = %v, want %v", w, err, errAt[7])
+		}
+	}
+}
+
+func TestMapRunsEverythingBelowFailure(t *testing.T) {
+	const n, failAt = 80, 41
+	boom := errors.New("boom")
+	for _, w := range workerCounts {
+		var ran [n]atomic.Bool
+		_, err := Map(n, w, func(i int) (int, error) {
+			ran[i].Store(true)
+			if i == failAt {
+				return 0, boom
+			}
+			return i, nil
+		})
+		if err != boom {
+			t.Fatalf("workers=%d: err = %v", w, err)
+		}
+		for i := 0; i < failAt; i++ {
+			if !ran[i].Load() {
+				t.Fatalf("workers=%d: job %d below the failure never ran", w, i)
+			}
+		}
+	}
+}
+
+func TestMapPanicLowestIndexRethrown(t *testing.T) {
+	for _, w := range workerCounts {
+		got := func() (msg string) {
+			defer func() {
+				if r := recover(); r != nil {
+					msg = fmt.Sprint(r)
+				}
+			}()
+			_, _ = Map(20, w, func(i int) (int, error) {
+				if i == 4 || i == 11 {
+					panic(fmt.Sprintf("job %d exploded", i))
+				}
+				return i, nil
+			})
+			return ""
+		}()
+		if !strings.Contains(got, "job 4") {
+			t.Fatalf("workers=%d: recovered %q, want lowest panicking index 4", w, got)
+		}
+	}
+}
+
+func TestDeriveSeedDeterministic(t *testing.T) {
+	a := DeriveSeed(1, 2, 3)
+	if b := DeriveSeed(1, 2, 3); b != a {
+		t.Fatalf("same inputs, different seeds: %d vs %d", a, b)
+	}
+	if DeriveSeed(1, 2, 4) == a || DeriveSeed(1, 3, 3) == a || DeriveSeed(2, 2, 3) == a {
+		t.Fatal("varying any input must vary the seed")
+	}
+}
+
+func TestDeriveSeedCollisionSmoke(t *testing.T) {
+	for _, base := range []int64{0, 1, -1, 1 << 40} {
+		seen := make(map[int64]string, 4*2000)
+		for stream := uint64(1); stream <= 4; stream++ {
+			for run := 0; run < 2000; run++ {
+				s := DeriveSeed(base, stream, run)
+				key := fmt.Sprintf("stream %d run %d", stream, run)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("base %d: seed collision between %s and %s", base, prev, key)
+				}
+				seen[s] = key
+			}
+		}
+	}
+}

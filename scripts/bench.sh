@@ -1,0 +1,54 @@
+#!/bin/sh
+# Benchmarks the parallel experiment engine: times Figure 3 regeneration
+# with the worker pool at 1 worker (sequential) and at N workers (one per
+# CPU), then writes BENCH_parallel.json at the repo root. Output is
+# byte-identical across worker counts (the engine's determinism contract;
+# see DESIGN.md §9) — only wall-clock changes, and only on multi-CPU
+# machines. Usage:
+#
+#   scripts/bench.sh [runs] [nodes]
+#
+# Defaults: runs=16, nodes=150 (quick preset scale).
+set -e
+cd "$(dirname "$0")/.."
+
+RUNS=${1:-16}
+NODES=${2:-150}
+WORKERS=${WORKERS:-4}
+CPUS=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+
+go build -o /tmp/dccsim.bench ./cmd/dccsim
+
+# time_fig WORKERS -> seconds (fractional) on stdout.
+time_fig() {
+    start=$(date +%s%N)
+    /tmp/dccsim.bench -fig 3 -runs "$RUNS" -nodes "$NODES" -workers "$1" >/dev/null
+    end=$(date +%s%N)
+    awk "BEGIN { printf \"%.3f\", ($end - $start) / 1e9 }"
+}
+
+echo "== bench: Figure 3, runs=$RUNS nodes=$NODES cpus=$CPUS"
+T1=$(time_fig 1)
+echo "   workers=1:        ${T1}s"
+TN=$(time_fig "$WORKERS")
+echo "   workers=$WORKERS:        ${TN}s"
+
+SPEEDUP=$(awk "BEGIN { printf \"%.2f\", $T1 / $TN }")
+echo "   speedup:          ${SPEEDUP}x"
+
+# speedup ≈ min(cpus, workers) on an otherwise idle machine; on a 1-CPU
+# box the two timings coincide and speedup ≈ 1.0 by construction.
+cat > BENCH_parallel.json <<EOF
+{
+  "bench": "figure3",
+  "runs": $RUNS,
+  "nodes": $NODES,
+  "cpus": $CPUS,
+  "sequential_workers": 1,
+  "sequential_seconds": $T1,
+  "parallel_workers": $WORKERS,
+  "parallel_seconds": $TN,
+  "speedup": $SPEEDUP
+}
+EOF
+echo "== wrote BENCH_parallel.json"

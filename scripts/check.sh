@@ -1,7 +1,8 @@
 #!/bin/sh
 # Pre-PR gate: formatting, vet, build, determinism lint, race detector,
-# and the dccdebug deep-assertion test run. Everything here must pass
-# before a change ships (see README "Development").
+# the dccdebug deep-assertion test run, a repeated race run of the worker
+# pool, and a short fuzz smoke of every fuzz target. Everything here must
+# pass before a change ships (see README "Development").
 set -e
 cd "$(dirname "$0")/.."
 
@@ -23,9 +24,17 @@ echo '== dcclint'
 go run ./cmd/dcclint ./...
 
 echo '== go test -race'
-go test -race ./...
+go test -race -timeout 30m ./...
 
 echo '== go test -tags dccdebug'
 go test -tags dccdebug ./...
+
+echo '== runner race (repeated)'
+go test -race -count=2 ./internal/runner
+
+echo '== fuzz smoke'
+go test -run=NONE -fuzz='^FuzzVectorXOR$' -fuzztime=5s ./internal/bitvec
+go test -run=NONE -fuzz='^FuzzRank$' -fuzztime=5s ./internal/bitvec
+go test -run=NONE -fuzz='^FuzzFrameRoundTrip$' -fuzztime=5s ./internal/dist
 
 echo 'check.sh: all gates passed'
