@@ -1,0 +1,179 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+
+	"dcc/internal/core"
+	"dcc/internal/graph"
+)
+
+// chaosPlans are the seeded fault schedules of the chaos matrix. Every
+// plan is reproducible from its literal value: crash times, recovery
+// times, partition windows and side seeds are all explicit, and the
+// bursty-loss chains ride the run's own SplitMix stream.
+func chaosPlans() []struct {
+	name   string
+	plan   *FaultPlan
+	bursty bool // plan carries its own loss model; skip the iid-loss axis
+} {
+	return []struct {
+		name   string
+		plan   *FaultPlan
+		bursty bool
+	}{
+		{name: "clean", plan: nil},
+		// Crash victims are chosen so that removing them alone keeps the
+		// τ-confine criterion satisfiable for every τ in the matrix: a
+		// fail-stop crash is an uncertified removal no protocol can undo,
+		// so a victim whose bare removal already breaks coverage (node 17
+		// does, at τ=3) would make the cell unwinnable by construction.
+		// TestChaosMatrix asserts this precondition before each faulty run.
+		{name: "crashes", plan: &FaultPlan{
+			Seed: 1,
+			Crashes: []CrashEvent{
+				{Node: 30, At: 1},
+				{Node: 45, At: 2, AfterElection: true},
+			},
+		}},
+		{name: "crash-recover", plan: &FaultPlan{
+			Seed: 2,
+			Crashes: []CrashEvent{
+				{Node: 24, At: 1, RecoverAt: 3},
+				{Node: 38, At: 2, RecoverAt: 5},
+			},
+		}},
+		{name: "partition-heal", plan: &FaultPlan{
+			Seed:       3,
+			Partitions: []PartitionEvent{{At: 1, Heal: 3}},
+		}},
+		{name: "bursty", plan: &FaultPlan{
+			Seed:   4,
+			Bursty: &GilbertElliott{PGoodToBad: 0.1, PBadToGood: 0.35, LossGood: 0.02, LossBad: 0.5},
+		}, bursty: true},
+		{name: "kitchen-sink", plan: &FaultPlan{
+			Seed:       5,
+			Crashes:    []CrashEvent{{Node: 25, At: 2, RecoverAt: 4}},
+			Partitions: []PartitionEvent{{At: 3, Heal: 5}},
+		}},
+	}
+}
+
+// checkRunIntegrity asserts the structural invariants every chaos run must
+// satisfy regardless of reliability mode: a duplicate-free deletion log
+// consistent with the final graph, and crashed nodes actually gone.
+func checkRunIntegrity(t *testing.T, res Result) {
+	t.Helper()
+	seen := make(map[graph.NodeID]bool, len(res.Deleted))
+	for _, d := range res.Deleted {
+		if seen[d] {
+			t.Fatalf("deletion log contains %d twice", d)
+		}
+		seen[d] = true
+		if res.Final.HasNode(d) {
+			t.Fatalf("deleted node %d still in final graph", d)
+		}
+	}
+	for _, c := range res.Crashed {
+		if res.Final.HasNode(c) {
+			t.Fatalf("crashed node %d still in final graph", c)
+		}
+	}
+}
+
+// TestChaosMatrix sweeps (τ, loss model, fault plan) × reliability mode.
+//
+// Under AckFloods every cell must keep the safety invariant: zero
+// independence violations (the dccdebug MIS-independence assertion backs
+// this up when the matrix runs under -tags dccdebug, as scripts/check.sh
+// does) and a survivor graph that passes the global τ-confine verifier.
+//
+// Under ReliabilityNone the same sweep must reproduce the documented
+// Theorem 5/6 gap: at loss ≥ 0.1 at least one cell elects winner pairs
+// inside the independence radius — proof that the harness can detect the
+// original safety hole, not just that the fix hides it.
+func TestChaosMatrix(t *testing.T) {
+	net := testNet(t, 90, 8, 8, 1.9)
+	taus := []int{3, 4, 5}
+	losses := []float64{0, 0.1, 0.2}
+	if testing.Short() {
+		taus = []int{4}
+		losses = []float64{0, 0.2}
+	}
+	noneViolations := 0
+	for _, tau := range taus {
+		for _, loss := range losses {
+			for _, pc := range chaosPlans() {
+				if pc.bursty && loss > 0 {
+					continue // the plan brings its own loss model
+				}
+				name := fmt.Sprintf("tau=%d/loss=%v/%s", tau, loss, pc.name)
+				t.Run("ack/"+name, func(t *testing.T) {
+					// Precondition: the plan's permanent crashes must be
+					// absorbable — their bare removal alone (no protocol)
+					// keeps the criterion. Otherwise the cell is unwinnable
+					// by construction, not by any protocol defect.
+					if pc.plan != nil {
+						var perm []graph.NodeID
+						for _, c := range pc.plan.Crashes {
+							if c.RecoverAt == 0 {
+								perm = append(perm, c.Node)
+							}
+						}
+						if len(perm) > 0 {
+							ok, err := core.VerifyConfine(net.G.DeleteVertices(perm), net.BoundaryCycles, tau)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if !ok {
+								t.Fatalf("bad plan: bare removal of crash victims %v already breaks τ=%d confinement", perm, tau)
+							}
+						}
+					}
+					res, err := Run(net, Config{
+						Tau:         tau,
+						Seed:        1000 + int64(tau),
+						Loss:        loss,
+						Reliability: AckFloods,
+						Faults:      pc.plan,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					checkRunIntegrity(t, res)
+					if res.Stats.IndependenceViolations != 0 {
+						t.Fatalf("AckFloods cell has %d independence violations",
+							res.Stats.IndependenceViolations)
+					}
+					ok, err := core.VerifyConfine(res.Final, net.BoundaryCycles, tau)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !ok {
+						t.Fatal("AckFloods cell broke the τ-confine criterion")
+					}
+				})
+				t.Run("none/"+name, func(t *testing.T) {
+					res, err := Run(net, Config{
+						Tau:         tau,
+						Seed:        1000 + int64(tau),
+						Loss:        loss,
+						Reliability: ReliabilityNone,
+						Faults:      pc.plan,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					checkRunIntegrity(t, res)
+					if loss >= 0.1 {
+						noneViolations += res.Stats.IndependenceViolations
+					}
+				})
+			}
+		}
+	}
+	if noneViolations == 0 {
+		t.Fatal("unreliable sweep at loss ≥ 0.1 produced no independence violations; " +
+			"the harness cannot reproduce the documented gap")
+	}
+}

@@ -22,10 +22,16 @@ const debugChecks = true
 //   - each winner's hashed priority beats every rival candidate within
 //     m−1 hops, i.e. the election picked exactly the local maxima.
 //
-// With message loss the flood may not reach everyone and the safety
-// guarantee is explicitly waived (see Config.Loss), so the topology checks
-// only run for lossless configurations. Hop distances are measured on the
-// live topology: crashed nodes do not forward floods.
+// cands is the effective electorate of the round (candidates minus
+// AckFloods withdrawals).
+//
+// Under ReliabilityNone with a lossy channel the flood may not reach
+// everyone and the safety guarantee is explicitly waived (see
+// Config.Loss), so the topology checks are skipped for exactly that
+// combination. Under AckFloods they stay on even with loss — the chaos
+// harness pins that they never fire on its seeded runs. Hop distances are
+// measured on the live communication topology: crashed nodes do not
+// forward floods, and partition-severed links carry nothing.
 func (r *runtime) debugCheckWinners(cands, winners []graph.NodeID, superRound int) {
 	isCand := make(map[graph.NodeID]bool, len(cands))
 	for _, c := range cands {
@@ -39,13 +45,10 @@ func (r *runtime) debugCheckWinners(cands, winners []graph.NodeID, superRound in
 			panic(fmt.Sprintf("dist debug: winner %d was never a candidate", w))
 		}
 	}
-	if r.cfg.Loss > 0 {
+	if r.unreliableLossy() {
 		return
 	}
-	top := r.cur
-	if len(r.crashList) > 0 {
-		top = top.DeleteVertices(r.crashList)
-	}
+	top := r.commTopology()
 	for _, w := range winners {
 		t := top.BFS(w, r.m-1)
 		own := candidate{origin: w, priority: hashPriority(uint64(r.cfg.Seed), uint64(w), uint64(superRound))}

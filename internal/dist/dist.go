@@ -16,9 +16,16 @@
 //     node anywhere is deletable.
 //
 // The runtime is a deterministic synchronous-round simulator with optional
-// per-link message loss and fail-stop crash injection. Determinism comes
-// from sorted iteration plus per-(seed,node,round) hashed priorities, so a
-// run is reproducible from its Config alone.
+// per-link message loss and structured fault injection (fail-stop crashes,
+// crash-recover, Gilbert–Elliott bursty loss, timed partitions — see
+// FaultPlan). Determinism comes from sorted iteration plus
+// per-(seed,node,round) hashed priorities, so a run is reproducible from
+// its Config alone.
+//
+// Delivery of the safety-critical CANDIDATE and DELETE floods is
+// selectable (Config.Reliability): the paper's bare fire-and-forget
+// broadcasts, or a per-hop ACK/retransmit layer over sequenced v2 frames
+// that restores MIS independence under message loss (DESIGN.md §10).
 package dist
 
 import (
@@ -37,16 +44,26 @@ type Config struct {
 	// Seed drives priorities and loss decisions.
 	Seed int64
 	// Loss is the independent per-link message-loss probability in [0,1).
-	// With loss, liveness is preserved but the safety guarantee of
-	// pairwise-independent deletions can be violated (documented
-	// limitation; real deployments would acknowledge candidate floods).
+	// Under ReliabilityNone, loss preserves liveness but the safety
+	// guarantee of pairwise-independent deletions can be violated (the
+	// paper's documented limitation); AckFloods closes that gap by
+	// acknowledging the candidate and delete floods.
 	Loss float64
+	// Reliability selects the delivery guarantee of the CANDIDATE and
+	// DELETE floods: ReliabilityNone (zero value) reproduces the paper's
+	// bare floods, AckFloods adds per-hop ACK/retransmit.
+	Reliability Reliability
 	// MaxSuperRounds bounds the deletion iterations (0 = number of nodes).
 	MaxSuperRounds int
 	// CrashNodes fail silently (fail-stop) at the start of super-round
-	// CrashAtSuperRound (1-based; 0 disables).
+	// CrashAtSuperRound (1-based; 0 disables). The pair is the legacy
+	// single-event schedule; it is merged into Faults at startup.
 	CrashNodes        []graph.NodeID
 	CrashAtSuperRound int
+	// Faults optionally schedules structured fault injection: per-node
+	// crash and crash-recover times, Gilbert–Elliott bursty link loss,
+	// and timed partition/heal events, all reproducible from the plan.
+	Faults *FaultPlan
 }
 
 // Stats counts the communication work of a run.
@@ -66,6 +83,25 @@ type Stats struct {
 	SuperRounds int
 	// Tests counts local deletability evaluations.
 	Tests int
+	// AckFrames and AckBytes count the acknowledgement traffic of the
+	// reliability layer (zero under ReliabilityNone).
+	AckFrames int
+	AckBytes  int
+	// Retransmits counts data-frame rebroadcasts beyond each first
+	// attempt.
+	Retransmits int
+	// Withdrawals counts candidates that gave up a super-round because
+	// their bid's first hop could not be fully acknowledged.
+	Withdrawals int
+	// Suspicions counts ACK-timeout failure-detector events: a sender gave
+	// up on a neighbour and marked it suspected-crashed in its local view.
+	Suspicions int
+	// IndependenceViolations counts elected winner pairs closer than the
+	// independence radius m on the live communication topology — the
+	// safety gap the reliability layer exists to close. The count is
+	// ground-truth observability (a real node cannot compute it) and
+	// consumes no randomness.
+	IndependenceViolations int
 }
 
 // Result is the outcome of a distributed run.
@@ -76,8 +112,12 @@ type Result struct {
 	Kept, KeptInternal []graph.NodeID
 	// Deleted lists nodes removed by the protocol, in deletion order.
 	Deleted []graph.NodeID
-	// Crashed lists nodes removed by fault injection.
+	// Crashed lists nodes removed by fault injection and still down at
+	// the end of the run.
 	Crashed []graph.NodeID
+	// Recovered lists nodes that crashed and later rejoined, in recovery
+	// order.
+	Recovered []graph.NodeID
 	// Stats summarises communication and computation.
 	Stats Stats
 }
@@ -92,6 +132,22 @@ func Run(net core.Network, cfg Config) (Result, error) {
 	}
 	if cfg.Loss < 0 || cfg.Loss >= 1 {
 		return Result{}, fmt.Errorf("dist: loss %v outside [0,1)", cfg.Loss)
+	}
+	if cfg.Reliability != ReliabilityNone && cfg.Reliability != AckFloods {
+		return Result{}, fmt.Errorf("dist: unknown reliability mode %d", cfg.Reliability)
+	}
+	if cfg.CrashAtSuperRound < 0 {
+		return Result{}, fmt.Errorf("dist: crash super-round %d < 0", cfg.CrashAtSuperRound)
+	}
+	for _, v := range cfg.CrashNodes {
+		if !net.G.HasNode(v) {
+			return Result{}, fmt.Errorf("dist: crash node %d not in network", v)
+		}
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.validate(net.G, cfg.Loss); err != nil {
+			return Result{}, err
+		}
 	}
 	r := newRuntime(net, cfg)
 	r.discover()
@@ -111,9 +167,18 @@ type runtime struct {
 	deleted   []graph.NodeID
 	crashed   map[graph.NodeID]bool
 	crashList []graph.NodeID
-	rng       *splitMix
-	stats     Stats
+	recovered []graph.NodeID
+	faults    *faultState
+	rel       *reliableState
+	// pendingSuspects queues failure-detector events (detector, suspect)
+	// for the next suspicion-announcement flood.
+	pendingSuspects []suspicion
+	rng             *splitMix
+	stats           Stats
 }
+
+// suspicion is one ACK-timeout failure-detector event.
+type suspicion struct{ by, of graph.NodeID }
 
 func newRuntime(net core.Network, cfg Config) *runtime {
 	r := &runtime{
@@ -130,10 +195,33 @@ func newRuntime(net core.Network, cfg Config) *runtime {
 	for _, v := range net.G.Nodes() {
 		r.views[v] = newLocalView(v, net.G.Neighbors(v))
 	}
+	plan := FaultPlan{}
+	if cfg.Faults != nil {
+		plan = *cfg.Faults
+	}
+	if cfg.CrashAtSuperRound > 0 && len(cfg.CrashNodes) > 0 {
+		// Merge the legacy single-event schedule into the plan without
+		// mutating the caller's slice.
+		crashes := make([]CrashEvent, 0, len(plan.Crashes)+len(cfg.CrashNodes))
+		crashes = append(crashes, plan.Crashes...)
+		for _, v := range cfg.CrashNodes {
+			crashes = append(crashes, CrashEvent{Node: v, At: cfg.CrashAtSuperRound})
+		}
+		plan.Crashes = crashes
+	}
+	if len(plan.Crashes) > 0 || plan.Bursty != nil || len(plan.Partitions) > 0 {
+		r.faults = newFaultState(plan, net.G)
+	}
+	if cfg.Reliability == AckFloods {
+		r.rel = newReliableState()
+	}
 	return r
 }
 
 // liveNodes returns the surviving, non-crashed nodes in sorted order.
+// Graph.Nodes hands out a fresh copy (a documented guarantee), so the
+// in-place filter below cannot alias graph internals or earlier Nodes()
+// results.
 func (r *runtime) liveNodes() []graph.NodeID {
 	nodes := r.cur.Nodes()
 	out := nodes[:0]
@@ -145,9 +233,42 @@ func (r *runtime) liveNodes() []graph.NodeID {
 	return out
 }
 
-// dropLink reports whether a particular delivery is lost.
-func (r *runtime) dropLink() bool {
+// unreliableLossy reports whether the run combines fire-and-forget floods
+// with a lossy channel — the one configuration whose MIS-independence
+// guarantee is explicitly waived (see Config.Loss). The dccdebug topology
+// assertions skip exactly this combination and stay armed everywhere else,
+// including AckFloods under loss.
+func (r *runtime) unreliableLossy() bool {
+	if r.cfg.Reliability != ReliabilityNone {
+		return false
+	}
+	if r.cfg.Loss > 0 {
+		return true
+	}
+	return r.faults != nil && r.faults.plan.Bursty != nil
+}
+
+// dropDelivery reports whether a particular delivery is lost: severed by
+// an active partition, dropped by the per-link Gilbert–Elliott chain, or
+// dropped by the i.i.d. Loss model. Partition cuts consume no randomness,
+// so the loss stream is unchanged by partition events.
+func (r *runtime) dropDelivery(from, to graph.NodeID) bool {
+	if r.faults != nil {
+		if r.faults.linkCut(from, to) {
+			return true
+		}
+		if r.faults.ge != nil {
+			return r.faults.geDrop(from, to, r.rng)
+		}
+	}
 	return r.cfg.Loss > 0 && r.rng.float64() < r.cfg.Loss
+}
+
+// proofOfLife clears any stale suspicion of a transmitting node: crashed
+// and deleted nodes never transmit, so every reception proves its sender
+// alive. Called on every delivery, before the packets are processed.
+func (r *runtime) proofOfLife(from, to graph.NodeID) {
+	r.views[to].resurrect(from)
 }
 
 // broadcastRound delivers one synchronous round: every sender with a
@@ -180,7 +301,7 @@ func (r *runtime) broadcastRound(frames map[graph.NodeID][]Packet, onPacket func
 		r.stats.Broadcasts++
 		r.stats.BytesSent += len(frame)
 		for _, to := range r.cur.Neighbors(from) {
-			if r.crashed[to] || r.dropLink() {
+			if r.crashed[to] || r.dropDelivery(from, to) {
 				continue
 			}
 			packets, err := DecodeFrame(frame)
@@ -189,6 +310,7 @@ func (r *runtime) broadcastRound(frames map[graph.NodeID][]Packet, onPacket func
 			}
 			r.stats.Delivered++
 			r.stats.BytesDelivered += len(frame)
+			r.proofOfLife(from, to)
 			for _, p := range packets {
 				onPacket(from, to, p)
 			}
@@ -243,37 +365,279 @@ func (r *runtime) mainLoop() {
 		maxRounds = r.net.G.NumNodes() + 1
 	}
 	for sr := 1; sr <= maxRounds; sr++ {
-		if r.cfg.CrashAtSuperRound == sr {
-			r.injectCrashes()
+		if r.faults != nil {
+			r.faults.enterSuperRound(sr)
+			r.applyCrashes(r.faults.crashStart[sr])
+			if rec := r.applyRecoveries(r.faults.recoverAt[sr]); len(rec) > 0 {
+				r.resync(rec)
+			}
+		}
+		if r.rel != nil {
+			// Detect silent neighbours and spread the word before this
+			// round's candidacy decisions, not after them.
+			r.heartbeat()
+			r.announceSuspicions()
 		}
 		cands := r.evaluateCandidates()
 		if len(cands) == 0 {
+			if r.faults != nil && r.faults.eventsAfter(sr) {
+				continue // idle: scheduled faults can still change the world
+			}
 			return
 		}
 		r.stats.SuperRounds++
-		winners := r.electMIS(cands, sr)
+		winners, elected := r.electMIS(cands, sr)
 		if len(winners) == 0 {
-			// All candidate floods lost; retry with fresh priorities.
+			// All candidate floods lost or withdrawn; retry with fresh
+			// priorities.
 			continue
 		}
-		r.debugCheckWinners(cands, winners, sr) // no-op unless -tags dccdebug
+		r.debugCheckWinners(elected, winners, sr) // no-op unless -tags dccdebug
+		r.countIndependenceViolations(winners)
+		if r.faults != nil {
+			// Adversarial schedule: a winner may die after the election
+			// but before announcing its deletion.
+			r.applyCrashes(r.faults.crashPost[sr])
+			winners = r.filterLive(winners)
+			if len(winners) == 0 {
+				continue
+			}
+		}
 		before := len(r.deleted)
 		r.deleteWinners(winners)
 		r.debugCheckDeletionLog(before, winners)
 	}
 }
 
-func (r *runtime) injectCrashes() {
-	for _, v := range r.cfg.CrashNodes {
-		if r.cur.HasNode(v) && !r.crashed[v] {
-			r.crashed[v] = true
-			r.crashList = append(r.crashList, v)
+// applyCrashes fail-stops the round's victims.
+func (r *runtime) applyCrashes(evs []CrashEvent) {
+	for _, c := range sortedCrashEvents(evs) {
+		if r.cur.HasNode(c.Node) && !r.crashed[c.Node] {
+			r.crashed[c.Node] = true
+			r.crashList = append(r.crashList, c.Node)
+		}
+	}
+}
+
+// applyRecoveries rejoins crashed nodes with a fresh view seeded from
+// their physical radio links; the caller follows up with a resync so the
+// node relearns its k-hop neighbourhood and the deletions it missed.
+func (r *runtime) applyRecoveries(nodes []graph.NodeID) []graph.NodeID {
+	var rec []graph.NodeID
+	for _, v := range sortedIDs(nodes) {
+		if !r.crashed[v] || !r.cur.HasNode(v) {
+			continue
+		}
+		r.crashed[v] = false
+		for i, w := range r.crashList {
+			if w == v {
+				r.crashList = append(r.crashList[:i], r.crashList[i+1:]...)
+				break
+			}
+		}
+		r.recovered = append(r.recovered, v)
+		r.views[v] = newLocalView(v, r.cur.Neighbors(v))
+		delete(r.deletable, v)
+		rec = append(rec, v)
+	}
+	return rec
+}
+
+// resync rebuilds a rejoining node's view: the node announces itself
+// (REJOIN), and every direct neighbour that hears the announcement dumps
+// its live adjacency records plus its deletion knowledge. The union of the
+// 1-hop neighbours' k-hop records covers the rejoiner's own k-hop
+// neighbourhood, so after one dump round its Γ^k view is complete again.
+// The announcement itself floods k hops so that every node that suspected
+// the rejoiner while it was down hears the proof of life and resurrects
+// it.
+func (r *runtime) resync(recovered []graph.NodeID) {
+	pending := make(map[graph.NodeID][]Packet, len(recovered))
+	for _, v := range recovered {
+		pending[v] = []Packet{{Kind: MsgRejoin, Origin: v}}
+	}
+	dumpers := make(map[graph.NodeID]bool)
+	seenRejoin := make(map[suspicion]bool) // (hearer, rejoiner) pairs
+	for hop := 0; hop < r.k; hop++ {
+		next := make(map[graph.NodeID][]Packet)
+		delivered := false
+		r.flood(pending, func(_, to graph.NodeID, p Packet) {
+			delivered = true
+			if p.Kind != MsgRejoin || p.Origin == to {
+				return
+			}
+			r.views[to].resurrect(p.Origin)
+			if hop == 0 {
+				dumpers[to] = true
+			}
+			key := suspicion{by: to, of: p.Origin}
+			if !seenRejoin[key] {
+				seenRejoin[key] = true
+				next[to] = append(next[to], p)
+			}
+		})
+		if !delivered {
+			break
+		}
+		pending = next
+	}
+	ids := make([]graph.NodeID, 0, len(dumpers))
+	for v := range dumpers {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	dump := make(map[graph.NodeID][]Packet, len(ids))
+	for _, u := range ids {
+		view := r.views[u]
+		owners := make([]graph.NodeID, 0, len(view.records))
+		for o := range view.records {
+			owners = append(owners, o)
+		}
+		sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
+		var pkts []Packet
+		for _, o := range owners {
+			if !view.dead[o] {
+				pkts = append(pkts, Packet{Kind: MsgHello, Owner: o, Neighbors: view.records[o]})
+			}
+		}
+		deads := make([]graph.NodeID, 0, len(view.dead))
+		for d := range view.dead {
+			deads = append(deads, d)
+		}
+		sort.Slice(deads, func(i, j int) bool { return deads[i] < deads[j] })
+		for _, d := range deads {
+			pkts = append(pkts, Packet{Kind: MsgDelete, Origin: d})
+		}
+		dump[u] = pkts
+	}
+	r.flood(dump, func(_, to graph.NodeID, p Packet) {
+		switch p.Kind {
+		case MsgHello:
+			r.views[to].learn(adjRecord{owner: p.Owner, nbrs: p.Neighbors})
+		case MsgDelete:
+			r.applyDelete(to, p.Origin)
+		}
+	})
+}
+
+// heartbeat opens a super-round (AckFloods only) with one reliable beacon
+// from every live node. A neighbour that stays silent through the beacon's
+// retries is suspected crashed by every node adjacent to it — so a silent
+// crash is detected by all its neighbours in the same round, before any
+// node stakes a deletion on a view that still contains the phantom.
+// Beacon deliveries double as proof of life, clearing stale suspicion of
+// neighbours that came back after a partition healed or a crash recovered.
+func (r *runtime) heartbeat() {
+	frames := make(map[graph.NodeID][]Packet)
+	for _, v := range r.liveNodes() {
+		frames[v] = []Packet{{Kind: MsgHello, Owner: v}}
+	}
+	r.reliableRound(frames, func(_, _ graph.NodeID, _ Packet) {})
+}
+
+// announceSuspicions floods queued failure-detector events k hops as
+// SUSPECT packets. Every node whose Γ^k view can contain a silent node x
+// is within k hops of one of x's neighbours — all of which detect x at the
+// same heartbeat — so after this flood no candidacy decision anywhere
+// rests on the phantom. Receivers adopt the suspicion (reversible: any
+// frame later heard from the suspect resurrects it) and abstain from
+// candidacy while it stands, trading local liveness for global safety.
+func (r *runtime) announceSuspicions() {
+	if len(r.pendingSuspects) == 0 {
+		return
+	}
+	pending := make(map[graph.NodeID][]Packet)
+	for _, s := range r.pendingSuspects {
+		if !r.crashed[s.by] {
+			pending[s.by] = append(pending[s.by], Packet{Kind: MsgSuspect, Origin: s.of})
+		}
+	}
+	r.pendingSuspects = r.pendingSuspects[:0]
+	for hop := 0; hop < r.k; hop++ {
+		next := make(map[graph.NodeID][]Packet)
+		delivered := false
+		r.flood(pending, func(_, to graph.NodeID, p Packet) {
+			delivered = true
+			if p.Kind != MsgSuspect || p.Origin == to {
+				return
+			}
+			if r.views[to].markSuspect(p.Origin) {
+				next[to] = append(next[to], p)
+			}
+		})
+		if !delivered {
+			break
+		}
+		pending = next
+	}
+}
+
+// filterLive drops crashed nodes from a sorted ID list.
+func (r *runtime) filterLive(ids []graph.NodeID) []graph.NodeID {
+	out := ids[:0]
+	for _, v := range ids {
+		if !r.crashed[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// commTopology is the live communication graph: surviving nodes minus
+// crashed ones, minus links severed by active partitions. It is the
+// topology on which flood reachability — and therefore MIS independence —
+// is actually defined.
+func (r *runtime) commTopology() *graph.Graph {
+	if len(r.crashList) == 0 && (r.faults == nil || r.faults.activeCuts == 0) {
+		return r.cur
+	}
+	b := graph.NewBuilder()
+	for _, v := range r.cur.Nodes() {
+		if !r.crashed[v] {
+			b.AddNode(v)
+		}
+	}
+	for _, e := range r.cur.Edges() {
+		if r.crashed[e.U] || r.crashed[e.V] {
+			continue
+		}
+		if r.faults != nil && r.faults.linkCut(e.U, e.V) {
+			continue
+		}
+		b.AddEdge(e.U, e.V)
+	}
+	return b.MustBuild()
+}
+
+// countIndependenceViolations records elected winner pairs closer than m
+// hops on the live communication topology — exactly the simultaneous
+// deletions Theorem 5/6 forbids. Ground-truth observability only; no
+// randomness is consumed and no behaviour changes.
+func (r *runtime) countIndependenceViolations(winners []graph.NodeID) {
+	if len(winners) < 2 {
+		return
+	}
+	top := r.commTopology()
+	for i, w := range winners {
+		t := top.BFS(w, r.m-1)
+		for _, o := range winners[i+1:] {
+			if t.Depth(o) >= 0 {
+				r.stats.IndependenceViolations++
+			}
 		}
 	}
 }
 
 // evaluateCandidates runs the local VPT test at every internal node whose
 // view changed since its last test.
+//
+// A node that currently suspects a neighbour crashed abstains from
+// candidacy (quarantine): its deletability certificate was computed on a
+// view it knows is degraded, and deleting itself could strand a suspect
+// that is merely partitioned, not dead. Suspicion of a true crash never
+// clears, so nodes adjacent to a silent crash stop deleting themselves —
+// safety over liveness; suspicion of a partitioned neighbour is erased by
+// the first frame heard from it after the partition heals.
 func (r *runtime) evaluateCandidates() []graph.NodeID {
 	var cands []graph.NodeID
 	for _, v := range r.liveNodes() {
@@ -287,7 +651,7 @@ func (r *runtime) evaluateCandidates() []graph.NodeID {
 			r.deletable[v] = vpt.NeighborhoodDeletable(
 				view.neighborhoodGraph(r.k), view.liveNeighbors(v), r.cfg.Tau)
 		}
-		if r.deletable[v] {
+		if r.deletable[v] && len(view.suspect) == 0 {
 			cands = append(cands, v)
 		}
 	}
@@ -295,10 +659,15 @@ func (r *runtime) evaluateCandidates() []graph.NodeID {
 }
 
 // electMIS floods candidate priorities m−1 hops and returns the local
-// winners: candidates that heard no stronger bid.
-func (r *runtime) electMIS(cands []graph.NodeID, superRound int) []graph.NodeID {
+// winners — candidates that heard no stronger bid — plus the effective
+// electorate (candidates minus withdrawals). Under AckFloods, a candidate
+// whose own first-hop broadcast could not be fully acknowledged withdraws
+// for this super-round: its bid provably failed to reach its whole 1-hop
+// neighbourhood, so self-electing would risk a non-independent deletion.
+func (r *runtime) electMIS(cands []graph.NodeID, superRound int) (winners, elected []graph.NodeID) {
 	bids := make(map[graph.NodeID]candidate, len(cands))
 	heard := make(map[graph.NodeID]map[graph.NodeID]candidate) // node -> origin -> bid
+	withdrawn := make(map[graph.NodeID]bool)
 	pending := make(map[graph.NodeID][]Packet)
 	for _, v := range cands {
 		bid := candidate{
@@ -311,7 +680,7 @@ func (r *runtime) electMIS(cands []graph.NodeID, superRound int) []graph.NodeID 
 	for hop := 0; hop < r.m-1; hop++ {
 		next := make(map[graph.NodeID][]Packet)
 		delivered := false
-		r.broadcastRound(pending, func(_, to graph.NodeID, p Packet) {
+		gaveUp := r.flood(pending, func(_, to graph.NodeID, p Packet) {
 			delivered = true
 			if p.Kind != MsgCandidate || p.Origin == to {
 				return
@@ -327,13 +696,26 @@ func (r *runtime) electMIS(cands []graph.NodeID, superRound int) []graph.NodeID 
 			m[p.Origin] = candidate{origin: p.Origin, priority: p.Priority}
 			next[to] = append(next[to], p)
 		})
+		if hop == 0 {
+			for _, v := range gaveUp {
+				if _, isCand := bids[v]; isCand && !withdrawn[v] {
+					withdrawn[v] = true
+					r.stats.Withdrawals++
+				}
+			}
+		}
 		if !delivered {
 			break
 		}
 		pending = next
 	}
-	var winners []graph.NodeID
+	elected = make([]graph.NodeID, 0, len(cands))
 	for _, v := range cands {
+		if !withdrawn[v] {
+			elected = append(elected, v)
+		}
+	}
+	for _, v := range elected {
 		own := bids[v]
 		lost := false
 		//lint:ordered ∃-reduction: "did any heard bid beat mine" is order-independent
@@ -348,7 +730,7 @@ func (r *runtime) electMIS(cands []graph.NodeID, superRound int) []graph.NodeID 
 		}
 	}
 	sort.Slice(winners, func(i, j int) bool { return winners[i] < winners[j] })
-	return winners
+	return winners, elected
 }
 
 // deleteWinners removes the winners from the ground truth and floods their
@@ -361,7 +743,7 @@ func (r *runtime) deleteWinners(winners []graph.NodeID) {
 		farewell[w] = []Packet{{Kind: MsgDelete, Origin: w}}
 	}
 	pending := make(map[graph.NodeID][]Packet) // forwarder -> announcements
-	r.broadcastRound(farewell, func(_, to graph.NodeID, p Packet) {
+	r.flood(farewell, func(_, to graph.NodeID, p Packet) {
 		if p.Kind == MsgDelete && r.applyDelete(to, p.Origin) {
 			pending[to] = append(pending[to], p)
 		}
@@ -381,7 +763,7 @@ func (r *runtime) deleteWinners(winners []graph.NodeID) {
 		}
 		next := make(map[graph.NodeID][]Packet)
 		delivered := false
-		r.broadcastRound(pending, func(_, to graph.NodeID, p Packet) {
+		r.flood(pending, func(_, to graph.NodeID, p Packet) {
 			delivered = true
 			if p.Kind == MsgDelete && r.applyDelete(to, p.Origin) {
 				next[to] = append(next[to], p)
@@ -420,6 +802,7 @@ func (r *runtime) result() Result {
 		KeptInternal: internal,
 		Deleted:      r.deleted,
 		Crashed:      append([]graph.NodeID(nil), r.crashList...),
+		Recovered:    append([]graph.NodeID(nil), r.recovered...),
 		Stats:        r.stats,
 	}
 }

@@ -7,18 +7,23 @@ import (
 	"dcc/internal/graph"
 )
 
-// FuzzFrameRoundTrip feeds arbitrary bytes to the wire-format decoder. Two
-// properties must hold for every input:
+// FuzzFrameRoundTrip feeds arbitrary bytes to the wire-format decoders.
+// For every input:
 //
-//  1. DecodeFrame never panics (malformed radio frames are a runtime
-//     condition, not a programming error), and
-//  2. any frame that decodes re-encodes losslessly: for the decoded packet
-//     sequence f, decode(encode(f)) == f. (The byte images may differ —
-//     the decoder tolerates non-minimal uvarints the encoder never emits —
-//     so the law is stated on packets, not bytes.)
+//  1. DecodeFrameAny (and the legacy v1-only DecodeFrame) never panics —
+//     malformed radio frames are a runtime condition, not a programming
+//     error;
+//  2. any frame that decodes re-encodes losslessly in its own version:
+//     for the decoded frame f, DecodeFrameAny(f.Encode()) == f. (The byte
+//     images may differ — the decoder tolerates non-minimal uvarints the
+//     encoder never emits — so the law is stated on decoded frames, not
+//     bytes.)
+//  3. DecodeFrame agrees with DecodeFrameAny on every v1 frame and rejects
+//     everything else with ErrBadVersion or ErrBadFrame.
 func FuzzFrameRoundTrip(f *testing.F) {
-	// Seed corpus: one frame per packet kind, a multi-packet frame, and
-	// classic malformed shapes (bad version, truncations, trailing bytes).
+	// Seed corpus: one frame per packet kind in both wire versions, a
+	// multi-packet frame, and classic malformed shapes (bad version,
+	// truncations, trailing bytes).
 	helloFrame, err := EncodeFrame([]Packet{{Kind: MsgHello, Owner: 2, Neighbors: []graph.NodeID{3, 4, 9}}})
 	if err != nil {
 		f.Fatal(err)
@@ -35,32 +40,69 @@ func FuzzFrameRoundTrip(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	ackFrame, err := EncodeFrameV2(9, []Packet{
+		{Kind: MsgAck, Origin: 3, Seq: 8},
+		{Kind: MsgAck, Origin: 300, Seq: 1 << 30},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	v2Mixed, err := EncodeFrameV2(1<<40, []Packet{
+		{Kind: MsgRejoin, Origin: 11},
+		{Kind: MsgCandidate, Origin: 4, Priority: 77},
+		{Kind: MsgDelete, Origin: 2},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add(helloFrame)
 	f.Add(candFrame)
 	f.Add(mixed)
+	f.Add(ackFrame)
+	f.Add(v2Mixed)
 	f.Add([]byte{})
-	f.Add([]byte{2, 1, 3, 7})                         // wrong version
+	f.Add([]byte{99, 1, 3, 7})                        // unsupported version
 	f.Add([]byte{1})                                  // missing count
 	f.Add([]byte{1, 1})                               // count without packet
 	f.Add([]byte{1, 1, 1, 2, 200})                    // HELLO with truncated neighbor count
 	f.Add(append(mixed, 0xee))                        // trailing byte
 	f.Add([]byte{1, 2, 2, 1, 0, 0, 0, 0, 0, 0, 0, 1}) // CANDIDATE then truncated packet
+	f.Add([]byte{2})                                  // v2 missing seq
+	f.Add([]byte{2, 0, 1, 4, 9})                      // v2 ACK without seq bytes
+	f.Add(append(v2Mixed, 0x01))                      // v2 trailing byte
 
 	f.Fuzz(func(t *testing.T, frame []byte) {
-		packets, err := DecodeFrame(frame) // must not panic on any input
-		if err != nil {
+		decoded, anyErr := DecodeFrameAny(frame) // must not panic on any input
+		packets, v1Err := DecodeFrame(frame)     // neither must the legacy decoder
+
+		// Law 3: the legacy decoder is exactly "DecodeFrameAny restricted
+		// to v1".
+		if anyErr == nil && decoded.Version == 1 {
+			if v1Err != nil {
+				t.Fatalf("v1 frame accepted by DecodeFrameAny, rejected by DecodeFrame: %v", v1Err)
+			}
+			if !reflect.DeepEqual(packets, decoded.Packets) {
+				t.Fatalf("decoder disagreement:\nv1:  %+v\nany: %+v", packets, decoded.Packets)
+			}
+		} else if v1Err == nil {
+			t.Fatalf("DecodeFrame accepted a frame DecodeFrameAny rejects or a non-v1 frame (version %d)",
+				decoded.Version)
+		}
+		if anyErr != nil {
 			return
 		}
-		reencoded, err := EncodeFrame(packets)
+
+		// Law 2: decode → Encode → decode is the identity on frames.
+		reencoded, err := decoded.Encode()
 		if err != nil {
-			t.Fatalf("decoded frame failed to re-encode: %v\npackets: %+v", err, packets)
+			t.Fatalf("decoded frame failed to re-encode: %v\nframe: %+v", err, decoded)
 		}
-		again, err := DecodeFrame(reencoded)
+		again, err := DecodeFrameAny(reencoded)
 		if err != nil {
 			t.Fatalf("re-encoded frame failed to decode: %v", err)
 		}
-		if !reflect.DeepEqual(packets, again) {
-			t.Fatalf("round trip not lossless:\nfirst:  %+v\nsecond: %+v", packets, again)
+		if !reflect.DeepEqual(decoded, again) {
+			t.Fatalf("round trip not lossless:\nfirst:  %+v\nsecond: %+v", decoded, again)
 		}
 	})
 }

@@ -15,12 +15,22 @@ type adjRecord struct {
 }
 
 // localView is the connectivity knowledge a node accumulates: the adjacency
-// lists of every node it has heard about, plus the set of nodes it knows to
-// be deleted.
+// lists of every node it has heard about, the set of nodes it knows to be
+// deleted, and the set it merely suspects crashed.
+//
+// dead and suspect differ in reversibility. A DELETE announcement is a
+// fact — deleted nodes never come back, and stale gossip cannot resurrect
+// them. A suspicion is the reliability layer's local guess after an ACK
+// timeout (the suspect may be crashed, or just on the far side of a
+// partition), so it is erased by any proof of life: crashed and deleted
+// nodes never transmit, hence every received frame proves its sender
+// alive. Suspected nodes keep their adjacency records so that a
+// resurrection restores the old view unchanged.
 type localView struct {
 	self    graph.NodeID
 	records map[graph.NodeID][]graph.NodeID
 	dead    map[graph.NodeID]bool
+	suspect map[graph.NodeID]bool
 	changed bool // set when the view changed since the last deletability test
 }
 
@@ -29,6 +39,7 @@ func newLocalView(self graph.NodeID, ownNbrs []graph.NodeID) *localView {
 		self:    self,
 		records: make(map[graph.NodeID][]graph.NodeID),
 		dead:    make(map[graph.NodeID]bool),
+		suspect: make(map[graph.NodeID]bool),
 		changed: true,
 	}
 	v.records[self] = append([]graph.NodeID(nil), ownNbrs...)
@@ -47,13 +58,36 @@ func (v *localView) learn(rec adjRecord) bool {
 }
 
 // markDead records a node deletion. Returns true when previously unknown.
+// An announced death supersedes any suspicion.
 func (v *localView) markDead(n graph.NodeID) bool {
 	if v.dead[n] {
 		return false
 	}
 	v.dead[n] = true
+	delete(v.suspect, n)
 	v.changed = true
 	return true
+}
+
+// markSuspect records an ACK-timeout suspicion. Returns true when the node
+// was not already dead or suspected.
+func (v *localView) markSuspect(n graph.NodeID) bool {
+	if v.dead[n] || v.suspect[n] {
+		return false
+	}
+	v.suspect[n] = true
+	v.changed = true
+	return true
+}
+
+// resurrect clears a suspicion after proof of life. Announced deaths are
+// irreversible and stay.
+func (v *localView) resurrect(n graph.NodeID) {
+	if !v.suspect[n] {
+		return
+	}
+	delete(v.suspect, n)
+	v.changed = true
 }
 
 // record returns the owned adjacency record for gossiping.
@@ -119,17 +153,17 @@ func (v *localView) neighborhoodGraph(k int) *graph.Graph {
 	return b.MustBuild()
 }
 
-// liveNeighbors returns the known adjacency of n restricted to live nodes.
-// An edge is believed present only if n's record lists it; symmetric
-// records keep this consistent.
+// liveNeighbors returns the known adjacency of n restricted to nodes
+// believed alive (neither dead nor suspected). An edge is believed present
+// only if n's record lists it; symmetric records keep this consistent.
 func (v *localView) liveNeighbors(n graph.NodeID) []graph.NodeID {
 	rec, ok := v.records[n]
-	if !ok || v.dead[n] {
+	if !ok || v.dead[n] || v.suspect[n] {
 		return nil
 	}
 	out := make([]graph.NodeID, 0, len(rec))
 	for _, w := range rec {
-		if !v.dead[w] {
+		if !v.dead[w] && !v.suspect[w] {
 			out = append(out, w)
 		}
 	}

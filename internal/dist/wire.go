@@ -12,19 +12,36 @@ import (
 // The distributed protocol's wire format. Every radio frame is a sequence
 // of packets:
 //
-//	frame   := version(1) count(uvarint) packet*
+//	frame   := v1 | v2
+//	v1      := version(1)=1 count(uvarint) packet*
+//	v2      := version(1)=2 seq(uvarint) count(uvarint) packet*
 //	packet  := kind(1) body
 //	HELLO   := owner(uvarint) n(uvarint) neighbor(uvarint)*   // adjacency gossip
 //	CAND    := origin(uvarint) priority(8, big endian)        // MIS bid
 //	DELETE  := origin(uvarint)                                // deletion announce
+//	ACK     := origin(uvarint) seq(uvarint)                   // per-hop frame ack
+//	REJOIN  := origin(uvarint)                                // crash-recover announce
+//	SUSPECT := origin(uvarint)                                // failure-detector announce
+//
+// Version 2 (the reliability layer, DESIGN.md §10) adds a per-frame
+// sequence number so receivers can deduplicate retransmissions and
+// acknowledge exactly the frame they heard; an ACK names the original
+// sender (origin) and the sequence number of the frame it acknowledges.
+// Version 1 frames remain byte-compatible: every v1 frame the old encoder
+// produced still decodes to the same packets.
 //
 // Node IDs are non-negative and fit in uvarints. The simulator encodes
 // every frame it transmits and decodes it at each receiver, so the format
 // (and its size accounting) is exercised on every delivery, not just in
 // round-trip tests.
 
-// wireVersion is the frame format version.
-const wireVersion = 1
+// Frame format versions. wireVersion is the legacy v1 (no sequence
+// number); wireVersionSeq is the v2 layout carrying a per-frame sequence
+// number for the ACK/retransmit reliability layer.
+const (
+	wireVersion    = 1
+	wireVersionSeq = 2
+)
 
 // MsgKind discriminates packet bodies.
 type MsgKind byte
@@ -34,6 +51,9 @@ const (
 	MsgHello MsgKind = iota + 1
 	MsgCandidate
 	MsgDelete
+	MsgAck     // per-hop acknowledgement of a sequenced frame
+	MsgRejoin  // crash-recover announcement soliciting a view resync
+	MsgSuspect // ACK-timeout failure-detector announcement
 )
 
 // Errors returned by frame decoding.
@@ -48,10 +68,13 @@ type Packet struct {
 	// Owner and Neighbors carry a HELLO adjacency record.
 	Owner     graph.NodeID
 	Neighbors []graph.NodeID
-	// Origin identifies the subject of CANDIDATE and DELETE packets.
+	// Origin identifies the subject of CANDIDATE, DELETE, ACK and REJOIN
+	// packets; for an ACK it names the sender of the acknowledged frame.
 	Origin graph.NodeID
 	// Priority is the MIS bid of a CANDIDATE.
 	Priority uint64
+	// Seq is the sequence number of the frame an ACK acknowledges.
+	Seq uint64
 }
 
 // appendPacket serialises p onto dst.
@@ -76,18 +99,25 @@ func appendPacket(dst []byte, p Packet) ([]byte, error) {
 		}
 		dst = binary.AppendUvarint(dst, uint64(p.Origin))
 		dst = binary.BigEndian.AppendUint64(dst, p.Priority)
-	case MsgDelete:
+	case MsgDelete, MsgRejoin, MsgSuspect:
 		if p.Origin < 0 {
 			return nil, fmt.Errorf("dist: negative node id %d", p.Origin)
 		}
 		dst = binary.AppendUvarint(dst, uint64(p.Origin))
+	case MsgAck:
+		if p.Origin < 0 {
+			return nil, fmt.Errorf("dist: negative node id %d", p.Origin)
+		}
+		dst = binary.AppendUvarint(dst, uint64(p.Origin))
+		dst = binary.AppendUvarint(dst, p.Seq)
 	default:
 		return nil, fmt.Errorf("dist: unknown packet kind %d", p.Kind)
 	}
 	return dst, nil
 }
 
-// EncodeFrame serialises a batch of packets into one radio frame.
+// EncodeFrame serialises a batch of packets into one v1 radio frame (no
+// sequence number; the unreliable-flood baseline).
 func EncodeFrame(packets []Packet) ([]byte, error) {
 	buf := make([]byte, 0, 16+8*len(packets))
 	buf = append(buf, wireVersion)
@@ -102,7 +132,46 @@ func EncodeFrame(packets []Packet) ([]byte, error) {
 	return buf, nil
 }
 
-// DecodeFrame parses a radio frame back into packets.
+// EncodeFrameV2 serialises a batch of packets into one v2 radio frame
+// carrying the sender's per-frame sequence number (the reliability layer).
+func EncodeFrameV2(seq uint64, packets []Packet) ([]byte, error) {
+	buf := make([]byte, 0, 24+8*len(packets))
+	buf = append(buf, wireVersionSeq)
+	buf = binary.AppendUvarint(buf, seq)
+	buf = binary.AppendUvarint(buf, uint64(len(packets)))
+	var err error
+	for _, p := range packets {
+		buf, err = appendPacket(buf, p)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// Frame is a decoded radio frame: its wire version, the sequence number
+// (v2 only; zero for v1 frames), and the packet batch.
+type Frame struct {
+	Version byte
+	Seq     uint64
+	Packets []Packet
+}
+
+// Encode re-serialises a decoded frame in its original version.
+func (f Frame) Encode() ([]byte, error) {
+	switch f.Version {
+	case wireVersion:
+		return EncodeFrame(f.Packets)
+	case wireVersionSeq:
+		return EncodeFrameV2(f.Seq, f.Packets)
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, f.Version)
+	}
+}
+
+// DecodeFrame parses a v1 radio frame back into packets. It is the legacy
+// entry point of the unreliable baseline and rejects sequenced v2 frames;
+// version-aware receivers use DecodeFrameAny.
 func DecodeFrame(frame []byte) ([]Packet, error) {
 	if len(frame) == 0 {
 		return nil, ErrBadFrame
@@ -110,14 +179,39 @@ func DecodeFrame(frame []byte) ([]Packet, error) {
 	if frame[0] != wireVersion {
 		return nil, fmt.Errorf("%w: %d", ErrBadVersion, frame[0])
 	}
+	f, err := DecodeFrameAny(frame)
+	if err != nil {
+		return nil, err
+	}
+	return f.Packets, nil
+}
+
+// DecodeFrameAny parses a radio frame of any supported version (v1 or v2)
+// back into packets plus frame metadata.
+func DecodeFrameAny(frame []byte) (Frame, error) {
+	if len(frame) == 0 {
+		return Frame{}, ErrBadFrame
+	}
+	out := Frame{Version: frame[0]}
+	if out.Version != wireVersion && out.Version != wireVersionSeq {
+		return Frame{}, fmt.Errorf("%w: %d", ErrBadVersion, out.Version)
+	}
 	rest := frame[1:]
+	if out.Version == wireVersionSeq {
+		seq, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return Frame{}, ErrBadFrame
+		}
+		out.Seq = seq
+		rest = rest[n:]
+	}
 	count, n := binary.Uvarint(rest)
 	if n <= 0 {
-		return nil, ErrBadFrame
+		return Frame{}, ErrBadFrame
 	}
 	rest = rest[n:]
 	if count > uint64(len(frame)) {
-		return nil, ErrBadFrame // count cannot exceed the byte length
+		return Frame{}, ErrBadFrame // count cannot exceed the byte length
 	}
 	packets := make([]Packet, 0, count)
 	readID := func() (graph.NodeID, error) {
@@ -135,7 +229,7 @@ func DecodeFrame(frame []byte) ([]Packet, error) {
 	}
 	for i := uint64(0); i < count; i++ {
 		if len(rest) == 0 {
-			return nil, ErrBadFrame
+			return Frame{}, ErrBadFrame
 		}
 		p := Packet{Kind: MsgKind(rest[0])}
 		rest = rest[1:]
@@ -143,46 +237,59 @@ func DecodeFrame(frame []byte) ([]Packet, error) {
 		case MsgHello:
 			owner, err := readID()
 			if err != nil {
-				return nil, err
+				return Frame{}, err
 			}
 			p.Owner = owner
 			cnt, n := binary.Uvarint(rest)
 			if n <= 0 || cnt > uint64(len(frame)) {
-				return nil, ErrBadFrame
+				return Frame{}, ErrBadFrame
 			}
 			rest = rest[n:]
 			p.Neighbors = make([]graph.NodeID, 0, cnt)
 			for j := uint64(0); j < cnt; j++ {
 				id, err := readID()
 				if err != nil {
-					return nil, err
+					return Frame{}, err
 				}
 				p.Neighbors = append(p.Neighbors, id)
 			}
 		case MsgCandidate:
 			origin, err := readID()
 			if err != nil {
-				return nil, err
+				return Frame{}, err
 			}
 			p.Origin = origin
 			if len(rest) < 8 {
-				return nil, ErrBadFrame
+				return Frame{}, ErrBadFrame
 			}
 			p.Priority = binary.BigEndian.Uint64(rest)
 			rest = rest[8:]
-		case MsgDelete:
+		case MsgDelete, MsgRejoin, MsgSuspect:
 			origin, err := readID()
 			if err != nil {
-				return nil, err
+				return Frame{}, err
 			}
 			p.Origin = origin
+		case MsgAck:
+			origin, err := readID()
+			if err != nil {
+				return Frame{}, err
+			}
+			p.Origin = origin
+			seq, n := binary.Uvarint(rest)
+			if n <= 0 {
+				return Frame{}, ErrBadFrame
+			}
+			p.Seq = seq
+			rest = rest[n:]
 		default:
-			return nil, fmt.Errorf("%w: kind %d", ErrBadFrame, p.Kind)
+			return Frame{}, fmt.Errorf("%w: kind %d", ErrBadFrame, p.Kind)
 		}
 		packets = append(packets, p)
 	}
 	if len(rest) != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(rest))
+		return Frame{}, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(rest))
 	}
-	return packets, nil
+	out.Packets = packets
+	return out, nil
 }

@@ -155,6 +155,125 @@ func TestFrameRoundTripProperty(t *testing.T) {
 	}
 }
 
+func TestFrameV2RoundTrip(t *testing.T) {
+	packets := []Packet{
+		{Kind: MsgHello, Owner: 7, Neighbors: []graph.NodeID{1, 2, 300}},
+		{Kind: MsgCandidate, Origin: 42, Priority: 0xdeadbeefcafef00d},
+		{Kind: MsgDelete, Origin: 9001},
+		{Kind: MsgAck, Origin: 13, Seq: 77},
+		{Kind: MsgRejoin, Origin: 5},
+	}
+	for _, seq := range []uint64{0, 1, 127, 128, 1 << 40, 1<<64 - 1} {
+		frame, err := EncodeFrameV2(seq, packets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeFrameAny(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Version != 2 || got.Seq != seq {
+			t.Fatalf("seq %d: decoded header version=%d seq=%d", seq, got.Version, got.Seq)
+		}
+		if !reflect.DeepEqual(got.Packets, packets) {
+			t.Fatalf("seq %d: packets mismatch:\ngot:  %+v\nwant: %+v", seq, got.Packets, packets)
+		}
+	}
+}
+
+func TestDecodeFrameAnyHandlesV1(t *testing.T) {
+	packets := []Packet{{Kind: MsgDelete, Origin: 3}}
+	frame, err := EncodeFrame(packets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrameAny(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 1 || got.Seq != 0 {
+		t.Fatalf("v1 header decoded as version=%d seq=%d", got.Version, got.Seq)
+	}
+	if !reflect.DeepEqual(got.Packets, packets) {
+		t.Fatalf("v1 packets mismatch: %+v", got.Packets)
+	}
+}
+
+func TestFrameEncodePreservesBytes(t *testing.T) {
+	// The encoder emits canonical (minimal-uvarint) frames, so for
+	// encoder-produced input decode→Encode must reproduce the bytes exactly
+	// in both versions.
+	packets := []Packet{
+		{Kind: MsgHello, Owner: 1, Neighbors: []graph.NodeID{2, 9}},
+		{Kind: MsgAck, Origin: 4, Seq: 1 << 21},
+	}
+	v1, err := EncodeFrame(packets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := EncodeFrameV2(999, packets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frame := range [][]byte{v1, v2} {
+		f, err := DecodeFrameAny(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := f.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(again, frame) {
+			t.Fatalf("re-encode changed bytes:\ngot:  %x\nwant: %x", again, frame)
+		}
+	}
+	if _, err := (Frame{Version: 9}).Encode(); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("unknown version accepted by Encode: %v", err)
+	}
+}
+
+func TestEncodeV2RejectsBadPackets(t *testing.T) {
+	if _, err := EncodeFrameV2(1, []Packet{{Kind: MsgAck, Origin: -1}}); err == nil {
+		t.Fatal("negative ack origin accepted")
+	}
+	if _, err := EncodeFrameV2(1, []Packet{{Kind: MsgRejoin, Origin: -7}}); err == nil {
+		t.Fatal("negative rejoin origin accepted")
+	}
+}
+
+func TestDecodeFrameAnyRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{99},            // unsupported version
+		{2},             // v2 missing seq
+		{2, 5},          // seq 5, missing count
+		{2, 0, 1},       // count 1, no packet
+		{2, 0, 1, 4, 9}, // ACK without seq bytes
+		{2, 0, 1, 5},    // REJOIN without origin
+		{2, 0, 0, 0xff}, // trailing byte
+	}
+	for i, frame := range cases {
+		if _, err := DecodeFrameAny(frame); err == nil {
+			t.Fatalf("case %d: garbage v2 frame accepted", i)
+		}
+	}
+	// Truncations of a valid v2 frame must all be rejected.
+	full, err := EncodeFrameV2(300, []Packet{
+		{Kind: MsgHello, Owner: 5, Neighbors: []graph.NodeID{1, 2, 3}},
+		{Kind: MsgAck, Origin: 2, Seq: 9000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := DecodeFrameAny(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
 func BenchmarkEncodeDecodeFrame(b *testing.B) {
 	packets := []Packet{
 		{Kind: MsgHello, Owner: 7, Neighbors: []graph.NodeID{1, 2, 3, 4, 5, 6, 8, 9, 10, 11}},

@@ -204,6 +204,115 @@ func AblationLoss(w io.Writer, cfg Config) (LossResult, error) {
 	return out, nil
 }
 
+// ReliabilityResult compares the unreliable baseline floods against the
+// acknowledged reliability layer (DESIGN.md §10) across loss rates.
+type ReliabilityResult struct {
+	LossRates []float64
+	// OKNone / OKAck are the fractions of runs whose final graph passes
+	// the global criterion under each reliability mode.
+	OKNone, OKAck []float64
+	// AckOverhead is the mean fraction of AckFloods airtime spent on ACK
+	// frames (AckBytes / BytesSent).
+	AckOverhead []float64
+	// RetransmitsAck is the mean retransmission count under AckFloods.
+	RetransmitsAck []float64
+}
+
+// reliabilityModeRun is the outcome of one reliability mode within a run.
+type reliabilityModeRun struct {
+	ok, ackFrac, retrans float64
+}
+
+// reliabilityRun is one Monte-Carlo run of the reliability ablation; skip
+// marks runs on pathological deployments (no achievable τ).
+type reliabilityRun struct {
+	skip      bool
+	none, ack reliabilityModeRun
+}
+
+// AblationReliability quantifies what the ACK/retransmit layer buys and
+// costs: under ReliabilityNone the criterion-preservation rate degrades
+// with loss (the documented Theorem 5/6 gap); under AckFloods it must stay
+// at 1.0 for every rate, paid for in ACK airtime and retransmissions. Runs
+// within each loss rate execute on the worker pool; both modes and all
+// rates share one derived seed per run, keeping every comparison paired.
+func AblationReliability(w io.Writer, cfg Config) (ReliabilityResult, error) {
+	cfg = cfg.withDefaults()
+	out := ReliabilityResult{LossRates: []float64{0, 0.05, 0.1, 0.2}}
+	if cfg.Quick {
+		out.LossRates = []float64{0, 0.2}
+	}
+	for _, loss := range out.LossRates {
+		perRun, err := runner.Map(cfg.Runs, cfg.Workers, func(run int) (reliabilityRun, error) {
+			dep, err := cfg.deploy(runner.DeriveSeed(cfg.Seed, streamReliabilityDeploy, run), math.Sqrt(3))
+			if err != nil {
+				return reliabilityRun{}, err
+			}
+			tau, err := dep.AchievableTau(8)
+			if err != nil {
+				return reliabilityRun{skip: true}, nil // pathological deployment; skip the run
+			}
+			if tau < 4 {
+				tau = 4
+			}
+			var r reliabilityRun
+			for _, mode := range []dist.Reliability{dist.ReliabilityNone, dist.AckFloods} {
+				res, err := dep.ScheduleDCCDistributed(dist.Config{
+					Tau:         tau,
+					Seed:        runner.DeriveSeed(cfg.Seed, streamReliabilitySchedule, run),
+					Loss:        loss,
+					Reliability: mode,
+				})
+				if err != nil {
+					return reliabilityRun{}, err
+				}
+				ok, err := dep.VerifyConfine(res.Final, tau)
+				if err != nil {
+					return reliabilityRun{}, err
+				}
+				m := reliabilityModeRun{retrans: float64(res.Stats.Retransmits)}
+				if ok {
+					m.ok = 1
+				}
+				if res.Stats.BytesSent > 0 {
+					m.ackFrac = float64(res.Stats.AckBytes) / float64(res.Stats.BytesSent)
+				}
+				if mode == dist.AckFloods {
+					r.ack = m
+				} else {
+					r.none = m
+				}
+			}
+			return r, nil
+		})
+		if err != nil {
+			return ReliabilityResult{}, err
+		}
+		var okNone, okAck, ackFrac, retrans []float64
+		for _, r := range perRun {
+			if r.skip {
+				continue
+			}
+			okNone = append(okNone, r.none.ok)
+			okAck = append(okAck, r.ack.ok)
+			ackFrac = append(ackFrac, r.ack.ackFrac)
+			retrans = append(retrans, r.ack.retrans)
+		}
+		out.OKNone = append(out.OKNone, stats.Mean(okNone))
+		out.OKAck = append(out.OKAck, stats.Mean(okAck))
+		out.AckOverhead = append(out.AckOverhead, stats.Mean(ackFrac))
+		out.RetransmitsAck = append(out.RetransmitsAck, stats.Mean(retrans))
+	}
+	fmt.Fprintf(w, "Ablation — reliability layer (τ per-run achievable, n=%d, %d runs)\n", cfg.Nodes, cfg.Runs)
+	fmt.Fprint(w, stats.Table("loss",
+		stats.Series{Name: "ok (none)", X: out.LossRates, Y: out.OKNone},
+		stats.Series{Name: "ok (ack)", X: out.LossRates, Y: out.OKAck},
+		stats.Series{Name: "ack byte frac", X: out.LossRates, Y: out.AckOverhead},
+		stats.Series{Name: "retransmits", X: out.LossRates, Y: out.RetransmitsAck},
+	))
+	return out, nil
+}
+
 // QuasiUDGResult compares scheduling under UDG and quasi-UDG links.
 type QuasiUDGResult struct {
 	Tau int

@@ -41,6 +41,7 @@ func equivCases() []struct {
 		{"Figure7", figCfg, func(w io.Writer, cfg Config) (any, error) { return Figure7(w, cfg) }},
 		{"AblationEngines", ablCfg, func(w io.Writer, cfg Config) (any, error) { return AblationEngines(w, cfg) }},
 		{"AblationLoss", ablCfg, func(w io.Writer, cfg Config) (any, error) { return AblationLoss(w, cfg) }},
+		{"AblationReliability", ablCfg, func(w io.Writer, cfg Config) (any, error) { return AblationReliability(w, cfg) }},
 		{"AblationQuasiUDG", ablCfg, func(w io.Writer, cfg Config) (any, error) { return AblationQuasiUDG(w, cfg) }},
 		{"AblationRotation", ablCfg, func(w io.Writer, cfg Config) (any, error) { return AblationRotation(w, cfg) }},
 	}

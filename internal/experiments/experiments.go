@@ -51,25 +51,29 @@ const (
 	streamQuasiSchedule
 	streamRotationDeploy
 	streamRotationSchedule
+	streamReliabilityDeploy
+	streamReliabilitySchedule
 )
 
 // seedStreams names every stream above for the disjointness test.
 var seedStreams = map[string]uint64{
-	"fig2-deploy":       streamFig2Deploy,
-	"fig2-schedule":     streamFig2Schedule,
-	"fig3-deploy":       streamFig3Deploy,
-	"fig3-schedule":     streamFig3Schedule,
-	"fig4-deploy":       streamFig4Deploy,
-	"fig4-schedule":     streamFig4Schedule,
-	"trace":             streamTrace,
-	"engines-deploy":    streamEnginesDeploy,
-	"engines-schedule":  streamEnginesSchedule,
-	"loss-deploy":       streamLossDeploy,
-	"loss-schedule":     streamLossSchedule,
-	"quasi-deploy":      streamQuasiDeploy,
-	"quasi-schedule":    streamQuasiSchedule,
-	"rotation-deploy":   streamRotationDeploy,
-	"rotation-schedule": streamRotationSchedule,
+	"fig2-deploy":          streamFig2Deploy,
+	"fig2-schedule":        streamFig2Schedule,
+	"fig3-deploy":          streamFig3Deploy,
+	"fig3-schedule":        streamFig3Schedule,
+	"fig4-deploy":          streamFig4Deploy,
+	"fig4-schedule":        streamFig4Schedule,
+	"trace":                streamTrace,
+	"engines-deploy":       streamEnginesDeploy,
+	"engines-schedule":     streamEnginesSchedule,
+	"loss-deploy":          streamLossDeploy,
+	"loss-schedule":        streamLossSchedule,
+	"quasi-deploy":         streamQuasiDeploy,
+	"quasi-schedule":       streamQuasiSchedule,
+	"rotation-deploy":      streamRotationDeploy,
+	"rotation-schedule":    streamRotationSchedule,
+	"reliability-deploy":   streamReliabilityDeploy,
+	"reliability-schedule": streamReliabilitySchedule,
 }
 
 // Config scales the harness. The zero value is filled with paper-like

@@ -166,7 +166,12 @@ func (g *Graph) NumNodes() int { return len(g.ids) }
 // NumEdges returns the number of edges.
 func (g *Graph) NumEdges() int { return len(g.edges) }
 
-// Nodes returns all node IDs in increasing order. The slice is a copy.
+// Nodes returns all node IDs in increasing order.
+//
+// The slice is a fresh copy on every call — callers may retain it, mutate
+// it, or filter it in place without aliasing graph internals or the result
+// of any other Nodes call. Code relies on this guarantee (e.g. the dist
+// runtime's in-place live-node filter), so it must survive refactors.
 func (g *Graph) Nodes() []NodeID {
 	return append([]NodeID(nil), g.ids...)
 }

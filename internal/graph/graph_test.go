@@ -399,6 +399,32 @@ func TestRandomGraphInvariants(t *testing.T) {
 	}
 }
 
+func TestNodesReturnsFreshCopies(t *testing.T) {
+	// The documented guarantee on Nodes(): every call hands out a fresh
+	// slice, so callers may filter one result in place (as the dist
+	// runtime's liveNodes does) without corrupting graph internals or any
+	// other caller's slice.
+	g := Grid(4, 4)
+	want := g.Nodes()
+	first := g.Nodes()
+	// Destructive in-place filter of one result, mimicking nodes[:0] reuse.
+	trashed := first[:0]
+	for _, v := range first {
+		if v%2 == 0 {
+			trashed = append(trashed, v+1000)
+		}
+	}
+	second := g.Nodes()
+	if !reflect.DeepEqual(second, want) {
+		t.Fatalf("Nodes() result corrupted by a previous caller's in-place filter:\ngot:  %v\nwant: %v", second, want)
+	}
+	// And mutating the new slice must not write through to graph state.
+	second[0] = -1
+	if third := g.Nodes(); !reflect.DeepEqual(third, want) {
+		t.Fatalf("Nodes() results alias each other: %v", third)
+	}
+}
+
 func BenchmarkBFS1600(b *testing.B) {
 	g := Grid(40, 40)
 	b.ResetTimer()

@@ -1,8 +1,9 @@
 #!/bin/sh
 # Pre-PR gate: formatting, vet, build, determinism lint, race detector,
 # the dccdebug deep-assertion test run, a repeated race run of the worker
-# pool, and a short fuzz smoke of every fuzz target. Everything here must
-# pass before a change ships (see README "Development").
+# pool, a chaos smoke (fault-injection matrix under race + deep
+# assertions), and a short fuzz smoke of every fuzz target. Everything
+# here must pass before a change ships (see README "Development").
 set -e
 cd "$(dirname "$0")/.."
 
@@ -31,6 +32,12 @@ go test -tags dccdebug ./...
 
 echo '== runner race (repeated)'
 go test -race -count=2 ./internal/runner
+
+echo '== chaos smoke (race + deep assertions)'
+# The reliability/fault-injection matrix under the race detector with the
+# dccdebug MIS-independence assertions armed — the combination neither
+# plain gate above covers. -short trims the matrix to a smoke-sized slice.
+go test -short -race -tags dccdebug -run '^TestChaosMatrix$' ./internal/dist
 
 echo '== fuzz smoke'
 go test -run=NONE -fuzz='^FuzzVectorXOR$' -fuzztime=5s ./internal/bitvec
