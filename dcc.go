@@ -36,6 +36,7 @@ import (
 	"dcc/internal/geom"
 	"dcc/internal/graph"
 	"dcc/internal/hgc"
+	"dcc/internal/runner"
 )
 
 // Re-exported fundamental types. Aliases keep the single implementation in
@@ -69,8 +70,55 @@ type (
 	RotationResult = core.RotationResult
 )
 
-// ErrNoFeasibleTau mirrors core.ErrNoFeasibleTau.
-var ErrNoFeasibleTau = core.ErrNoFeasibleTau
+// Sentinel errors of the scheduling API. Every public entry point wraps
+// these (with fmt.Errorf and %w) rather than returning bare strings, so
+// callers branch with errors.Is regardless of which layer produced the
+// failure:
+//
+//	if _, err := dcc.PlanTau(req); errors.Is(err, dcc.ErrNoFeasibleTau) { ... }
+//	if _, err := dep.ScheduleDCC(2, opts); errors.Is(err, dcc.ErrTauTooSmall) { ... }
+//
+// The aliases mirror the internal/core definitions, so errors.Is matches
+// whether an error crossed the public boundary or was produced internally.
+var (
+	// ErrNoFeasibleTau is returned by PlanTau when no confine size ≥ 3
+	// satisfies the coverage requirement.
+	ErrNoFeasibleTau = core.ErrNoFeasibleTau
+	// ErrNotAchievable is returned by AchievableTau when no confine size
+	// within the bound makes the boundary partitionable.
+	ErrNotAchievable = core.ErrNotAchievable
+	// ErrTauTooSmall is wrapped by every scheduling entry point —
+	// ScheduleDCC, ScheduleDCCDistributed, ThinEdges, Rotate — handed a
+	// confine size below the minimum of 3.
+	ErrTauTooSmall = core.ErrTauTooSmall
+)
+
+// DeriveSeed deterministically derives an independent sub-seed from a base
+// seed, a stream identifier, and a run index (chained SplitMix64
+// finalizers). It is the one seed-derivation primitive of the module — the
+// experiment harness derives every per-run deployment and scheduling seed
+// through it — exported so downstream sweeps compose with the library's
+// streams instead of inventing ad-hoc `seed + run*prime` offsets, whose
+// streams overlap.
+//
+// The seed surface of the public API:
+//
+//	field                 consumed by                    randomness it drives
+//	DeployOptions.Seed    Deploy                         node positions, QuasiUDG links
+//	ScheduleOptions.Seed  ScheduleDCC (both modes)       deletion order, MIS priorities
+//	DistConfig.Seed       ScheduleDCCDistributed         protocol priorities, loss, faults
+//	seed arguments        ScheduleHGC, ThinEdges, Rotate same role as ScheduleOptions.Seed
+//
+// Each field fully determines its stage: equal inputs plus equal seeds give
+// byte-identical outputs (independent of ScheduleOptions.Workers). To run N
+// independent repetitions, hold one base seed and derive per-run values,
+// giving each randomness consumer its own stream constant:
+//
+//	dep, _ := dcc.Deploy(dcc.DeployOptions{Nodes: n, Seed: dcc.DeriveSeed(base, 0, run)})
+//	res, _ := dep.ScheduleDCC(tau, dcc.ScheduleOptions{Seed: dcc.DeriveSeed(base, 1, run)})
+func DeriveSeed(base int64, stream uint64, run int) int64 {
+	return runner.DeriveSeed(base, stream, run)
+}
 
 // PlanTau returns the largest confine size satisfying a requirement
 // (Proposition 1).

@@ -202,14 +202,57 @@ func (v Vector) String() string {
 //
 // The zero value is not usable; construct with NewEchelon.
 type Echelon struct {
-	n     int
-	byPiv []Vector // pivot index -> row with that pivot (zero-length = none)
-	rank  int
+	n      int
+	byPiv  []Vector // pivot index -> row with that pivot (zero-length = none)
+	rank   int
+	pivots []int32    // pivots inserted so far, for cheap Reset
+	free   [][]uint64 // recycled row storage, fed by Reset, drained by TakeScratch
 }
 
 // NewEchelon returns an empty echelon for vectors of length n.
 func NewEchelon(n int) *Echelon {
 	return &Echelon{n: n, byPiv: make([]Vector, n)}
+}
+
+// Reset empties the echelon and re-dimensions it for vectors of length n,
+// recycling the storage of all previously stored rows. Together with
+// TakeScratch it makes repeated elimination runs (the per-candidate
+// short-span tests of the deletability engine) allocation-free in steady
+// state.
+func (e *Echelon) Reset(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bitvec: negative length %d", n))
+	}
+	for _, p := range e.pivots {
+		e.free = append(e.free, e.byPiv[p].words)
+		e.byPiv[p] = Vector{}
+	}
+	e.pivots = e.pivots[:0]
+	e.rank = 0
+	e.n = n
+	if len(e.byPiv) < n {
+		e.byPiv = make([]Vector, n)
+	}
+}
+
+// TakeScratch returns a zero vector of the echelon's current length, reusing
+// recycled row storage when available. The vector is caller-owned; handing
+// it back via InsertOwned (taken or not) keeps the cycle allocation-free.
+func (e *Echelon) TakeScratch() Vector {
+	need := (e.n + wordBits - 1) / wordBits
+	for len(e.free) > 0 {
+		w := e.free[len(e.free)-1]
+		e.free = e.free[:len(e.free)-1]
+		if cap(w) < need {
+			continue // drop undersized storage
+		}
+		w = w[:need]
+		for i := range w {
+			w[i] = 0
+		}
+		return Vector{n: e.n, words: w}
+	}
+	return New(e.n)
 }
 
 // Rank returns the number of independent vectors inserted so far.
@@ -283,6 +326,7 @@ func (e *Echelon) InsertOwned(v Vector) (pivot int, ok bool) {
 		return -1, false
 	}
 	e.byPiv[p] = v
+	e.pivots = append(e.pivots, int32(p))
 	e.rank++
 	return p, true
 }

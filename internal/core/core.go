@@ -24,6 +24,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"dcc/internal/bitvec"
 	"dcc/internal/cycles"
@@ -35,6 +36,11 @@ import (
 // ErrNoFeasibleTau is returned by PlanTau when no confine size ≥ 3
 // satisfies the coverage requirement.
 var ErrNoFeasibleTau = errors.New("core: no feasible confine size for the requirement")
+
+// ErrTauTooSmall is wrapped by every scheduling entry point handed a
+// confine size below the minimum of 3 (a 2-gon is not a cycle; the
+// void-preserving transformation is undefined). Match with errors.Is.
+var ErrTauTooSmall = errors.New("core: confine size below the minimum of 3")
 
 // Network is the graph-theoretic input of the scheduler.
 type Network struct {
@@ -162,13 +168,20 @@ type Options struct {
 	Workers int
 }
 
-// Stats records the work performed by a scheduling run.
+// Stats records the work performed by a scheduling run. The field
+// vocabulary (Rounds, Tests, Deletions) is shared with the distributed
+// runtime's Stats so centralized and distributed runs report comparably.
 type Stats struct {
-	// Rounds is the number of parallel rounds (1 for sequential runs).
+	// Rounds is the number of deletion rounds (1 for sequential runs).
 	Rounds int
 	// Tests counts void-preserving-transformation evaluations.
 	Tests int
-	// Deleted counts removed nodes.
+	// Deletions counts removed nodes.
+	Deletions int
+	// Deleted is the former name of Deletions, kept in sync for one
+	// release.
+	//
+	// Deprecated: use Deletions.
 	Deleted int
 }
 
@@ -193,7 +206,7 @@ func Schedule(net Network, opts Options) (Result, error) {
 		return Result{}, err
 	}
 	if opts.Tau < 3 {
-		return Result{}, fmt.Errorf("core: tau %d < 3", opts.Tau)
+		return Result{}, fmt.Errorf("core: tau %d: %w", opts.Tau, ErrTauTooSmall)
 	}
 	if opts.Mode == 0 {
 		opts.Mode = Sequential
@@ -216,7 +229,8 @@ func finishResult(net Network, g *graph.Graph, deleted []graph.NodeID, stats Sta
 			internal = append(internal, v)
 		}
 	}
-	stats.Deleted = len(deleted)
+	stats.Deletions = len(deleted)
+	stats.Deleted = stats.Deletions
 	return Result{
 		Final:        g,
 		Kept:         kept,
@@ -228,8 +242,7 @@ func finishResult(net Network, g *graph.Graph, deleted []graph.NodeID, stats Sta
 
 func scheduleSequential(net Network, opts Options) (Result, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
-	g := net.G
-	k := vpt.NeighborhoodRadius(opts.Tau)
+	cache := vpt.NewCache(net.G, opts.Tau)
 
 	queue := net.InternalNodes()
 	rng.Shuffle(len(queue), func(i, j int) { queue[i], queue[j] = queue[j], queue[i] })
@@ -244,32 +257,92 @@ func scheduleSequential(net Network, opts Options) (Result, error) {
 		v := queue[0]
 		queue = queue[1:]
 		inQueue[v] = false
-		if !g.HasNode(v) {
+		if !cache.Alive(v) {
 			continue
 		}
 		stats.Tests++
-		if !vpt.VertexDeletable(g, v, opts.Tau) {
+		if !cache.Deletable(v) {
 			continue
 		}
-		// Nodes whose Γ^k contained v must be retested after the deletion.
-		affected := g.KHopNeighbors(v, k)
-		g = g.DeleteVertices([]graph.NodeID{v})
 		deleted = append(deleted, v)
-		for _, w := range affected {
-			if !net.Boundary[w] && g.HasNode(w) && !inQueue[w] {
+		// Commit invalidates exactly the ≤ k-hop ball around v — the nodes
+		// whose Γ^k contained v — and returns them for retesting.
+		for _, w := range cache.Commit([]graph.NodeID{v}) {
+			if !net.Boundary[w] && !inQueue[w] {
 				inQueue[w] = true
 				queue = append(queue, w)
 			}
 		}
 	}
-	return finishResult(net, g, deleted, stats), nil
+	return finishResult(net, cache.LiveGraph(), deleted, stats), nil
+}
+
+// testChunk is the fan-out batch size for cache-miss deletability tests in
+// the parallel engine. It is a fixed constant — never derived from the
+// worker count — so the work decomposition, and therefore the output, is
+// identical for every Options.Workers value. Batching matters on the pool:
+// a single test is microseconds on dense patches, and dispatching each one
+// as its own pool task made the parallel engine slower than sequential
+// (the 0.94× inversion recorded in BENCH_parallel.json).
+const testChunk = 16
+
+// testKit is the per-worker scratch bundle for batched deletability tests.
+type testKit struct {
+	s *graph.Scratch
+	t *vpt.Tester
+}
+
+var kitPool = sync.Pool{New: func() any {
+	return &testKit{s: graph.NewScratch(nil), t: vpt.NewTester()}
+}}
+
+// cachedVerdicts evaluates the deletability of toTest (all cache-stale)
+// and publishes the verdicts into the cache. Small batches run inline on
+// the cache's own scratch; larger ones fan out in fixed-size chunks on the
+// deterministic pool, each chunk with pooled per-worker scratch, and the
+// memo writes happen after the join (workers never touch shared state).
+func cachedVerdicts(cache *vpt.Cache, toTest []graph.NodeID, workers int) []bool {
+	out := make([]bool, len(toTest))
+	if len(toTest) <= testChunk {
+		for i, v := range toTest {
+			out[i] = cache.Deletable(v)
+		}
+		return out
+	}
+	nchunks := (len(toTest) + testChunk - 1) / testChunk
+	// Deletability of distinct vertices is independent given a fixed live
+	// view, so the chunks fan out on the deterministic pool; the result
+	// slice is index-ordered regardless of the worker count.
+	chunks, _ := runner.Map(nchunks, workers, func(ci int) ([]bool, error) {
+		kit := kitPool.Get().(*testKit)
+		defer kitPool.Put(kit)
+		lo := ci * testChunk
+		hi := lo + testChunk
+		if hi > len(toTest) {
+			hi = len(toTest)
+		}
+		vals := make([]bool, hi-lo)
+		for i := lo; i < hi; i++ {
+			vals[i-lo] = cache.ComputeFresh(toTest[i], kit.s, kit.t)
+		}
+		return vals, nil
+	})
+	i := 0
+	for _, ch := range chunks {
+		i += copy(out[i:], ch)
+	}
+	for i, v := range toTest {
+		cache.Store(v, out[i])
+	}
+	return out
 }
 
 func scheduleParallel(net Network, opts Options) (Result, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
-	g := net.G
-	k := vpt.NeighborhoodRadius(opts.Tau)
+	cache := vpt.NewCache(net.G, opts.Tau)
+	view := cache.View()
 	m := vpt.IndependenceRadius(opts.Tau)
+	scratch := graph.NewScratch(net.G)
 
 	// dirty marks nodes whose neighbourhood changed since their last test;
 	// everything starts dirty. Clean nodes previously tested not-deletable
@@ -286,25 +359,20 @@ func scheduleParallel(net Network, opts Options) (Result, error) {
 		// Retest dirty internal nodes concurrently.
 		var toTest []graph.NodeID
 		for v := range dirty {
-			if g.HasNode(v) {
+			if cache.Alive(v) {
 				toTest = append(toTest, v)
 			}
 		}
 		sort.Slice(toTest, func(i, j int) bool { return toTest[i] < toTest[j] })
-		// Deletability of distinct vertices is independent given a fixed
-		// graph, so the tests fan out on the deterministic pool; the result
-		// slice is index-ordered regardless of opts.Workers.
-		results, _ := runner.Map(len(toTest), opts.Workers, func(i int) (bool, error) {
-			return vpt.VertexDeletable(g, toTest[i], opts.Tau), nil
-		})
+		verdicts := cachedVerdicts(cache, toTest, opts.Workers)
 		stats.Tests += len(toTest)
 		for i, v := range toTest {
-			deletable[v] = results[i]
+			deletable[v] = verdicts[i]
 			delete(dirty, v)
 		}
 
 		var candidates []graph.NodeID
-		for _, v := range g.Nodes() {
+		for _, v := range cache.LiveNodes() {
 			if deletable[v] && !net.Boundary[v] {
 				candidates = append(candidates, v)
 			}
@@ -328,33 +396,25 @@ func scheduleParallel(net Network, opts Options) (Result, error) {
 			}
 			selected = append(selected, v)
 			blocked[v] = true
-			for _, w := range g.KHopNeighbors(v, m-1) {
+			for _, w := range view.KHopBall(v, m-1, scratch) {
 				blocked[w] = true
 			}
 		}
 
-		// Delete the independent set simultaneously; dirty every survivor
-		// within k hops of a deleted node.
-		affected := make(map[graph.NodeID]bool)
-		for _, v := range selected {
-			for _, w := range g.KHopNeighbors(v, k) {
-				affected[w] = true
-			}
-		}
-		g = g.DeleteVertices(selected)
+		// Delete the independent set simultaneously; Commit dirties every
+		// survivor within k hops of a deleted node.
+		affected := cache.Commit(selected)
 		deleted = append(deleted, selected...)
 		for _, v := range selected {
 			delete(deletable, v)
-			delete(affected, v)
 		}
-		//lint:ordered map-to-map write; dirty is drained into a sorted slice each round
-		for w := range affected {
-			if !net.Boundary[w] && g.HasNode(w) {
+		for _, w := range affected {
+			if !net.Boundary[w] {
 				dirty[w] = true
 			}
 		}
 	}
-	return finishResult(net, g, deleted, stats), nil
+	return finishResult(net, cache.LiveGraph(), deleted, stats), nil
 }
 
 // VerifyNonRedundant checks Definition 6 on a scheduling result: removing

@@ -22,7 +22,7 @@ import (
 // cycles). The reduced graph is returned together with the removed edges.
 func ThinEdges(net Network, g *graph.Graph, tau int, seed int64) (*graph.Graph, []graph.Edge, error) {
 	if tau < 3 {
-		return nil, nil, fmt.Errorf("core: tau %d < 3", tau)
+		return nil, nil, fmt.Errorf("core: tau %d: %w", tau, ErrTauTooSmall)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	cur := g
@@ -101,11 +101,10 @@ func Rotate(net Network, opts Options, epochs int) ([]RotationResult, error) {
 // seeded shuffle.
 func scheduleBiased(net Network, opts Options, duty map[graph.NodeID]int, salt int64) (Result, error) {
 	if opts.Tau < 3 {
-		return Result{}, fmt.Errorf("core: tau %d < 3", opts.Tau)
+		return Result{}, fmt.Errorf("core: tau %d: %w", opts.Tau, ErrTauTooSmall)
 	}
 	rng := rand.New(rand.NewSource(opts.Seed ^ salt*0x9e3779b9))
-	g := net.G
-	k := vpt.NeighborhoodRadius(opts.Tau)
+	cache := vpt.NewCache(net.G, opts.Tau)
 
 	queue := net.InternalNodes()
 	rng.Shuffle(len(queue), func(i, j int) { queue[i], queue[j] = queue[j], queue[i] })
@@ -123,22 +122,20 @@ func scheduleBiased(net Network, opts Options, duty map[graph.NodeID]int, salt i
 		v := queue[0]
 		queue = queue[1:]
 		inQueue[v] = false
-		if !g.HasNode(v) {
+		if !cache.Alive(v) {
 			continue
 		}
 		stats.Tests++
-		if !vpt.VertexDeletable(g, v, opts.Tau) {
+		if !cache.Deletable(v) {
 			continue
 		}
-		affected := g.KHopNeighbors(v, k)
-		g = g.DeleteVertices([]graph.NodeID{v})
 		deleted = append(deleted, v)
-		for _, w := range affected {
-			if !net.Boundary[w] && g.HasNode(w) && !inQueue[w] {
+		for _, w := range cache.Commit([]graph.NodeID{v}) {
+			if !net.Boundary[w] && !inQueue[w] {
 				inQueue[w] = true
 				queue = append(queue, w)
 			}
 		}
 	}
-	return finishResult(net, g, deleted, stats), nil
+	return finishResult(net, cache.LiveGraph(), deleted, stats), nil
 }

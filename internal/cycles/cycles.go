@@ -189,7 +189,7 @@ func Candidates(g *graph.Graph, maxLen int) []Cycle {
 	// a length class.
 	var buckets [][]Cycle
 	count := 0
-	g.ForEachHortonCandidate(maxLen, func(_ graph.NodeID, length int, edges []int32) {
+	g.ForEachHortonCandidate(maxLen, func(_ graph.NodeID, length int, edges []int32) bool {
 		for length >= len(buckets) {
 			buckets = append(buckets, nil)
 		}
@@ -198,6 +198,7 @@ func Candidates(g *graph.Graph, maxLen int) []Cycle {
 		sort.Slice(es, func(i, j int) bool { return es[i] < es[j] })
 		buckets[length] = append(buckets[length], Cycle{edges: es})
 		count++
+		return true
 	})
 	cands := make([]Cycle, 0, count)
 	for _, b := range buckets {
@@ -258,14 +259,6 @@ type ShortSpan struct {
 // void-preserving transformation tests, triangles alone usually reach full
 // rank, making the much heavier Horton candidate generation unnecessary.
 func NewShortSpan(g *graph.Graph, tau int) *ShortSpan {
-	return buildShortSpan(g, tau, false)
-}
-
-// buildShortSpan constructs the short-cycle span. With spanOnly, it may
-// abort as soon as full spanning becomes impossible (rank + remaining
-// candidates < ν) — sound for the SpansAll question but leaving the
-// echelon incomplete, so Contains must not be used on the result.
-func buildShortSpan(g *graph.Graph, tau int, spanOnly bool) *ShortSpan {
 	m := g.NumEdges()
 	nu := g.CycleSpaceDim()
 	s := &ShortSpan{g: g, tau: tau, ech: bitvec.NewEchelon(m)}
@@ -274,43 +267,32 @@ func buildShortSpan(g *graph.Graph, tau int, spanOnly bool) *ShortSpan {
 		return s
 	}
 	if tau >= 3 {
-		var tris [][3]int
-		forEachTriangle(g, func(e1, e2, e3 int) bool {
-			tris = append(tris, [3]int{e1, e2, e3})
-			return true
-		})
-		// For τ=3 the triangles are the only generators ≤ τ (every
-		// 3-cycle is a 3-clique): too few can never span.
-		if spanOnly && tau == 3 && len(tris) < nu {
-			return s
-		}
 		scratch := bitvec.New(m)
-		for i, t := range tris {
-			if spanOnly && tau == 3 && s.ech.Rank()+(len(tris)-i) < nu {
-				return s // even a fully independent tail cannot reach ν
-			}
-			scratch.Set(t[0], true)
-			scratch.Set(t[1], true)
-			scratch.Set(t[2], true)
+		full := false
+		forEachTriangle(g, func(e1, e2, e3 int) bool {
+			scratch.Set(e1, true)
+			scratch.Set(e2, true)
+			scratch.Set(e3, true)
 			if _, taken := s.ech.InsertOwned(scratch); taken {
-				scratch = bitvec.New(m)
 				if s.ech.Rank() == nu {
-					s.full = true
-					return s
+					full = true
+					return false
 				}
+				scratch = bitvec.New(m)
 			}
 			// A rejected scratch comes back zeroed by the reduction.
+			return true
+		})
+		if full {
+			s.full = true
+			return s
 		}
 		if tau == 3 {
 			return s
 		}
 	}
-	cands := Candidates(g, tau)
 	scratch := bitvec.New(m)
-	for i, c := range cands {
-		if spanOnly && s.ech.Rank()+(len(cands)-i) < nu {
-			return s
-		}
+	for _, c := range Candidates(g, tau) {
 		for _, e := range c.edges {
 			scratch.Set(int(e), true)
 		}
@@ -326,31 +308,12 @@ func buildShortSpan(g *graph.Graph, tau int, spanOnly bool) *ShortSpan {
 }
 
 // forEachTriangle enumerates each 3-clique of g once (by edge indices),
-// stopping when fn returns false.
+// stopping when fn returns false. It delegates to the graph package's
+// dense, allocation-free merge-intersection enumerator.
 func forEachTriangle(g *graph.Graph, fn func(e1, e2, e3 int) bool) {
-	for ei := 0; ei < g.NumEdges(); ei++ {
-		e := g.EdgeAt(ei)
-		nu, nv := g.Neighbors(e.U), g.Neighbors(e.V)
-		a, b := 0, 0
-		for a < len(nu) && b < len(nv) {
-			switch {
-			case nu[a] < nv[b]:
-				a++
-			case nu[a] > nv[b]:
-				b++
-			default:
-				if w := nu[a]; w > e.V {
-					e2, _ := g.EdgeIndex(e.U, w)
-					e3, _ := g.EdgeIndex(e.V, w)
-					if !fn(ei, e2, e3) {
-						return
-					}
-				}
-				a++
-				b++
-			}
-		}
-	}
+	g.ForEachTriangle(func(e1, e2, e3 int32) bool {
+		return fn(int(e1), int(e2), int(e3))
+	})
 }
 
 // SpansAll reports whether cycles of length ≤ tau span the entire cycle
@@ -376,10 +339,7 @@ func (s *ShortSpan) Residue(target bitvec.Vector) bitvec.Vector {
 // transformation (Definition 5): it holds iff the maximum irreducible cycle
 // of g is bounded by tau.
 func SpannedByShort(g *graph.Graph, tau int) bool {
-	// Trees carry no cycles; restricting to the 2-core preserves the cycle
-	// space while shrinking the candidate generation work.
-	core := g.TwoCore()
-	return buildShortSpan(core, tau, true).SpansAll()
+	return SpannedByShortWS(g, tau, NewWorkspace())
 }
 
 // Partitionable reports whether the target vector (typically the GF(2) sum

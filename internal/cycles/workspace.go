@@ -1,0 +1,98 @@
+package cycles
+
+import (
+	"dcc/internal/bitvec"
+	"dcc/internal/graph"
+)
+
+// Workspace holds reusable GF(2) elimination state for repeated short-span
+// tests: the echelon (with its recycled row storage) and a flat arena for
+// the Horton candidates of the current graph. A Workspace amortizes the
+// per-test allocations of SpannedByShort across the thousands of
+// deletability evaluations a scheduling run performs; it is NOT safe for
+// concurrent use — give each worker its own.
+type Workspace struct {
+	ech   *bitvec.Echelon
+	offs  []int32 // candidate i occupies arena[offs[i]:offs[i+1]]
+	arena []int32 // concatenated candidate edge lists
+}
+
+// NewWorkspace returns an empty Workspace.
+func NewWorkspace() *Workspace {
+	return &Workspace{ech: bitvec.NewEchelon(0)}
+}
+
+// SpannedByShortWS is SpannedByShort evaluated with ws's reusable buffers —
+// same verdict, amortized allocations. This is the form the incremental
+// deletability engine (internal/vpt Cache) calls per candidate.
+func SpannedByShortWS(g *graph.Graph, tau int, ws *Workspace) bool {
+	// Trees carry no cycles; restricting to the 2-core preserves the cycle
+	// space while shrinking the candidate generation work.
+	return ws.spansAll(g.TwoCore(), tau)
+}
+
+// spansAll reports whether cycles of length ≤ tau span the entire cycle
+// space of core (assumed 2-core-reduced). Triangles are inserted straight
+// from the adjacency intersection first — in the dense unit-disk patches
+// the deletability test sees, they usually reach full rank on their own —
+// then the remaining Horton candidates are gathered into the arena (no
+// per-candidate copies or sorting: span membership is order-independent)
+// and eliminated with the same cannot-reach-rank early abort the batch
+// builder uses.
+func (ws *Workspace) spansAll(core *graph.Graph, tau int) bool {
+	nu := core.CycleSpaceDim()
+	if nu == 0 {
+		return true
+	}
+	if tau < 3 {
+		return false
+	}
+	m := core.NumEdges()
+	ws.ech.Reset(m)
+	ech := ws.ech
+	scratch := ech.TakeScratch()
+	full := false
+	core.ForEachTriangle(func(e1, e2, e3 int32) bool {
+		scratch.Set(int(e1), true)
+		scratch.Set(int(e2), true)
+		scratch.Set(int(e3), true)
+		if _, taken := ech.InsertOwned(scratch); taken {
+			if ech.Rank() == nu {
+				full = true
+				return false
+			}
+			scratch = ech.TakeScratch()
+		}
+		// A rejected scratch comes back zeroed by the reduction.
+		return true
+	})
+	if full || tau == 3 {
+		// For τ=3 the triangles are the only generators ≤ τ (every 3-cycle
+		// is a 3-clique), so the verdict is already decided.
+		return full
+	}
+	ws.offs = ws.offs[:0]
+	ws.arena = ws.arena[:0]
+	core.ForEachHortonCandidate(tau, func(_ graph.NodeID, _ int, edges []int32) bool {
+		ws.offs = append(ws.offs, int32(len(ws.arena)))
+		ws.arena = append(ws.arena, edges...)
+		return true
+	})
+	ws.offs = append(ws.offs, int32(len(ws.arena)))
+	ncand := len(ws.offs) - 1
+	for i := 0; i < ncand; i++ {
+		if ech.Rank()+(ncand-i) < nu {
+			return false // even a fully independent tail cannot reach ν
+		}
+		for _, e := range ws.arena[ws.offs[i]:ws.offs[i+1]] {
+			scratch.Set(int(e), true)
+		}
+		if _, taken := ech.InsertOwned(scratch); taken {
+			if ech.Rank() == nu {
+				return true
+			}
+			scratch = ech.TakeScratch()
+		}
+	}
+	return false
+}

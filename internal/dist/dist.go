@@ -79,8 +79,16 @@ type Stats struct {
 	BytesSent int
 	// BytesDelivered counts wire-format frame bytes received.
 	BytesDelivered int
-	// SuperRounds counts deletion iterations.
+	// Rounds counts deletion iterations (the vocabulary shared with the
+	// centralized scheduler's Stats).
+	Rounds int
+	// SuperRounds is the former name of Rounds, kept in sync for one
+	// release.
+	//
+	// Deprecated: use Rounds.
 	SuperRounds int
+	// Deletions counts nodes removed by the protocol.
+	Deletions int
 	// Tests counts local deletability evaluations.
 	Tests int
 	// AckFrames and AckBytes count the acknowledgement traffic of the
@@ -128,7 +136,7 @@ func Run(net core.Network, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	if cfg.Tau < 3 {
-		return Result{}, fmt.Errorf("dist: tau %d < 3", cfg.Tau)
+		return Result{}, fmt.Errorf("dist: tau %d: %w", cfg.Tau, core.ErrTauTooSmall)
 	}
 	if cfg.Loss < 0 || cfg.Loss >= 1 {
 		return Result{}, fmt.Errorf("dist: loss %v outside [0,1)", cfg.Loss)
@@ -174,7 +182,11 @@ type runtime struct {
 	// for the next suspicion-announcement flood.
 	pendingSuspects []suspicion
 	rng             *splitMix
-	stats           Stats
+	// tester holds the reusable deletability-test scratch (graph buffers
+	// and GF(2) workspace) shared by every per-node candidate evaluation;
+	// evaluation is single-threaded within a runtime.
+	tester *vpt.Tester
+	stats  Stats
 }
 
 // suspicion is one ACK-timeout failure-detector event.
@@ -191,6 +203,7 @@ func newRuntime(net core.Network, cfg Config) *runtime {
 		deletable: make(map[graph.NodeID]bool),
 		crashed:   make(map[graph.NodeID]bool),
 		rng:       newSplitMix(uint64(cfg.Seed) ^ 0x9e3779b97f4a7c15),
+		tester:    vpt.NewTester(),
 	}
 	for _, v := range net.G.Nodes() {
 		r.views[v] = newLocalView(v, net.G.Neighbors(v))
@@ -648,7 +661,7 @@ func (r *runtime) evaluateCandidates() []graph.NodeID {
 		if view.changed {
 			view.changed = false
 			r.stats.Tests++
-			r.deletable[v] = vpt.NeighborhoodDeletable(
+			r.deletable[v] = r.tester.NeighborhoodDeletable(
 				view.neighborhoodGraph(r.k), view.liveNeighbors(v), r.cfg.Tau)
 		}
 		if r.deletable[v] && len(view.suspect) == 0 {
@@ -796,6 +809,8 @@ func (r *runtime) result() Result {
 			internal = append(internal, v)
 		}
 	}
+	r.stats.Rounds = r.stats.SuperRounds
+	r.stats.Deletions = len(r.deleted)
 	return Result{
 		Final:        final,
 		Kept:         kept,

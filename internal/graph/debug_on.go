@@ -9,26 +9,21 @@ import "fmt"
 const debugChecks = true
 
 // debugCheckGraph panics unless g satisfies every structural invariant the
-// rest of the repository relies on: node IDs strictly sorted and densely
-// indexed, edges normalized (U < V), strictly sorted and uniquely indexed
-// (no duplicates), adjacency lists strictly sorted with a consistent
-// parallel edge-index list, and the handshake sum matching the edge count.
-// The static maprange analyzer can only approximate these properties;
-// dccdebug builds check them on every construction.
+// rest of the repository relies on: node IDs strictly sorted, edges
+// normalized (U < V), strictly sorted and uniquely indexed (no duplicates),
+// dense endpoint arrays consistent with the edge list, adjacency lists
+// strictly sorted with a consistent parallel edge-index list, and the
+// handshake sum matching the edge count. The static maprange analyzer can
+// only approximate these properties; dccdebug builds check them on every
+// construction.
 func debugCheckGraph(g *Graph) {
-	if len(g.idx) != len(g.ids) {
-		panic(fmt.Sprintf("graph debug: %d ids but %d index entries", len(g.ids), len(g.idx)))
-	}
 	for i, v := range g.ids {
 		if i > 0 && g.ids[i-1] >= v {
 			panic(fmt.Sprintf("graph debug: ids not strictly sorted at %d: %d >= %d", i, g.ids[i-1], v))
 		}
-		if g.idx[v] != i {
-			panic(fmt.Sprintf("graph debug: idx[%d] = %d, want %d", v, g.idx[v], i))
-		}
 	}
-	if len(g.eidx) != len(g.edges) {
-		panic(fmt.Sprintf("graph debug: %d edges but %d edge-index entries (duplicate edge?)", len(g.edges), len(g.eidx)))
+	if len(g.edgeU) != len(g.edges) || len(g.edgeV) != len(g.edges) {
+		panic(fmt.Sprintf("graph debug: %d edges but %d/%d endpoint entries", len(g.edges), len(g.edgeU), len(g.edgeV)))
 	}
 	for i, e := range g.edges {
 		if e.U >= e.V {
@@ -40,8 +35,14 @@ func debugCheckGraph(g *Graph) {
 				panic(fmt.Sprintf("graph debug: edges not strictly sorted at %d: {%d,%d} then {%d,%d}", i, p.U, p.V, e.U, e.V))
 			}
 		}
-		if g.eidx[e] != i {
-			panic(fmt.Sprintf("graph debug: eidx[{%d,%d}] = %d, want %d", e.U, e.V, g.eidx[e], i))
+		ui, uok := g.index(e.U)
+		vi, vok := g.index(e.V)
+		if !uok || !vok {
+			panic(fmt.Sprintf("graph debug: edge %d endpoint missing from id list: {%d,%d}", i, e.U, e.V))
+		}
+		if int(g.edgeU[i]) != ui || int(g.edgeV[i]) != vi {
+			panic(fmt.Sprintf("graph debug: edge %d endpoint arrays say (%d,%d), want (%d,%d)",
+				i, g.edgeU[i], g.edgeV[i], ui, vi))
 		}
 	}
 	total := 0

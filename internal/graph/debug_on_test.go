@@ -39,6 +39,6 @@ func TestDebugCheckGraphCatchesCorruption(t *testing.T) {
 	expectPanic(t, "duplicate edge", func() { debugCheckGraph(g) })
 
 	g = build()
-	g.eidx[Edge{U: 1, V: 2}] = 2 // inconsistent edge index
-	expectPanic(t, "bad eidx", func() { debugCheckGraph(g) })
+	g.edgeU[0], g.edgeV[0] = g.edgeV[0], g.edgeU[0] // inconsistent endpoint arrays
+	expectPanic(t, "bad endpoint arrays", func() { debugCheckGraph(g) })
 }

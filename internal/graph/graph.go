@@ -75,14 +75,7 @@ func (b *Builder) Build() (*Graph, error) {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 
-	g := &Graph{
-		ids:  ids,
-		idx:  make(map[NodeID]int, len(ids)),
-		eidx: make(map[Edge]int, len(b.order)),
-	}
-	for i, v := range ids {
-		g.idx[v] = i
-	}
+	g := &Graph{ids: ids}
 	g.adj = make([][]int32, len(ids))
 	g.adjEdge = make([][]int32, len(ids))
 	// Deterministic edge indexing: sort edges by endpoints rather than
@@ -95,12 +88,14 @@ func (b *Builder) Build() (*Graph, error) {
 		return edges[i].V < edges[j].V
 	})
 	g.edges = edges
+	g.edgeU = make([]int32, len(edges))
+	g.edgeV = make([]int32, len(edges))
 	for i, e := range edges {
 		if e.U == e.V {
 			return nil, fmt.Errorf("graph: self-loop at node %d", e.U)
 		}
-		g.eidx[e] = i
-		ui, vi := g.idx[e.U], g.idx[e.V]
+		ui, vi := g.internalIndex(e.U), g.internalIndex(e.V)
+		g.edgeU[i], g.edgeV[i] = int32(ui), int32(vi)
 		g.adj[ui] = append(g.adj[ui], int32(vi))
 		g.adjEdge[ui] = append(g.adjEdge[ui], int32(i))
 		g.adj[vi] = append(g.adj[vi], int32(ui))
@@ -151,13 +146,37 @@ func FromEdges(edges []Edge, isolated ...NodeID) (*Graph, error) {
 }
 
 // Graph is an immutable undirected simple graph.
+//
+// The representation is fully array-based (no maps): node IDs are kept
+// sorted, so ID-to-index resolution is a binary search, and an edge's index
+// is found by a binary search in the sorted adjacency list of an endpoint.
+// Map-free construction is what makes the compact-subgraph path (compact.go)
+// cheap enough to run inside the deletability hot loop.
 type Graph struct {
 	ids     []NodeID
-	idx     map[NodeID]int
 	adj     [][]int32 // adjacency by internal index, sorted
 	adjEdge [][]int32 // edge index parallel to adj
 	edges   []Edge
-	eidx    map[Edge]int
+	edgeU   []int32 // internal index of edges[i].U (dense, for scan loops)
+	edgeV   []int32 // internal index of edges[i].V
+}
+
+// index returns the dense index of v via binary search over the sorted ID
+// list, with ok reporting membership.
+func (g *Graph) index(v NodeID) (int, bool) {
+	lo, hi := 0, len(g.ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if g.ids[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(g.ids) && g.ids[lo] == v {
+		return lo, true
+	}
+	return 0, false
 }
 
 // NumNodes returns the number of nodes.
@@ -178,20 +197,54 @@ func (g *Graph) Nodes() []NodeID {
 
 // HasNode reports whether v is a node of the graph.
 func (g *Graph) HasNode(v NodeID) bool {
-	_, ok := g.idx[v]
+	_, ok := g.index(v)
 	return ok
 }
+
+// IndexOf returns the dense index of v in [0, NumNodes()) — the position of
+// v in the sorted ID list — with ok reporting membership. Dense indices are
+// stable for the graph's lifetime and are how overlay-aware callers (the
+// vpt verdict cache) key per-node state without maps.
+func (g *Graph) IndexOf(v NodeID) (int, bool) { return g.index(v) }
+
+// NodeAt returns the node ID with dense index i (inverse of IndexOf).
+func (g *Graph) NodeAt(i int) NodeID { return g.ids[i] }
 
 // HasEdge reports whether {u,v} is an edge.
 func (g *Graph) HasEdge(u, v NodeID) bool {
-	_, ok := g.eidx[NormEdge(u, v)]
+	_, ok := g.EdgeIndex(u, v)
 	return ok
 }
 
-// EdgeIndex returns the stable index of edge {u,v} in [0, NumEdges()).
+// EdgeIndex returns the stable index of edge {u,v} in [0, NumEdges()). It
+// resolves the endpoints and binary-searches the sorted adjacency list of
+// the lower-degree endpoint.
 func (g *Graph) EdgeIndex(u, v NodeID) (int, bool) {
-	i, ok := g.eidx[NormEdge(u, v)]
-	return i, ok
+	ui, ok := g.index(u)
+	if !ok {
+		return 0, false
+	}
+	vi, ok := g.index(v)
+	if !ok {
+		return 0, false
+	}
+	if len(g.adj[vi]) < len(g.adj[ui]) {
+		ui, vi = vi, ui
+	}
+	a := g.adj[ui]
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < int32(vi) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(a) && a[lo] == int32(vi) {
+		return int(g.adjEdge[ui][lo]), true
+	}
+	return 0, false
 }
 
 // EdgeAt returns the edge with the given index.
@@ -204,7 +257,7 @@ func (g *Graph) Edges() []Edge {
 
 // Degree returns the degree of v (0 if v is not in the graph).
 func (g *Graph) Degree(v NodeID) int {
-	i, ok := g.idx[v]
+	i, ok := g.index(v)
 	if !ok {
 		return 0
 	}
@@ -214,7 +267,7 @@ func (g *Graph) Degree(v NodeID) int {
 // Neighbors returns the neighbours of v in increasing ID order. The slice is
 // a copy. Returns nil if v is not in the graph.
 func (g *Graph) Neighbors(v NodeID) []NodeID {
-	i, ok := g.idx[v]
+	i, ok := g.index(v)
 	if !ok {
 		return nil
 	}
@@ -228,7 +281,7 @@ func (g *Graph) Neighbors(v NodeID) []NodeID {
 // internalIndex returns the dense index of v, panicking if absent. Reserved
 // for internal callers that have already validated membership.
 func (g *Graph) internalIndex(v NodeID) int {
-	i, ok := g.idx[v]
+	i, ok := g.index(v)
 	if !ok {
 		panic(fmt.Sprintf("graph: node %d not in graph", v))
 	}
@@ -282,7 +335,7 @@ func (g *Graph) BFS(root NodeID, maxDepth int) *BFSTree {
 // Depth returns the BFS depth of v, or -1 if unreachable (or outside the
 // explored horizon).
 func (t *BFSTree) Depth(v NodeID) int {
-	i, ok := t.g.idx[v]
+	i, ok := t.g.index(v)
 	if !ok {
 		return -1
 	}
@@ -292,7 +345,7 @@ func (t *BFSTree) Depth(v NodeID) int {
 // Parent returns the BFS parent of v and true, or 0,false for the root and
 // unreachable nodes.
 func (t *BFSTree) Parent(v NodeID) (NodeID, bool) {
-	i, ok := t.g.idx[v]
+	i, ok := t.g.index(v)
 	if !ok || t.parent[i] < 0 {
 		return 0, false
 	}
@@ -302,7 +355,7 @@ func (t *BFSTree) Parent(v NodeID) (NodeID, bool) {
 // PathToRoot returns the node sequence v, parent(v), ..., root. Returns nil
 // if v is unreachable.
 func (t *BFSTree) PathToRoot(v NodeID) []NodeID {
-	i, ok := t.g.idx[v]
+	i, ok := t.g.index(v)
 	if !ok || t.depth[i] < 0 {
 		return nil
 	}
@@ -317,8 +370,8 @@ func (t *BFSTree) PathToRoot(v NodeID) []NodeID {
 // LCA returns the lowest common ancestor of u and v in the tree, or false if
 // either is unreachable.
 func (t *BFSTree) LCA(u, v NodeID) (NodeID, bool) {
-	ui, uok := t.g.idx[u]
-	vi, vok := t.g.idx[v]
+	ui, uok := t.g.index(u)
+	vi, vok := t.g.index(v)
 	if !uok || !vok || t.depth[ui] < 0 || t.depth[vi] < 0 {
 		return 0, false
 	}
@@ -356,49 +409,40 @@ func (g *Graph) KHopNeighbors(v NodeID, k int) []NodeID {
 // absent from g are ignored. Edge indices of the result are independent of
 // g's.
 func (g *Graph) InducedSubgraph(nodes []NodeID) *Graph {
-	in := make(map[NodeID]struct{}, len(nodes))
-	b := NewBuilder()
+	s := getScratch(len(g.ids))
+	defer putScratch(s)
+	keep := s.ball[:0]
 	for _, v := range nodes {
-		if g.HasNode(v) {
-			in[v] = struct{}{}
-			b.AddNode(v)
+		if i, ok := g.index(v); ok {
+			keep = append(keep, int32(i))
 		}
 	}
-	for _, e := range g.edges {
-		if _, ok := in[e.U]; !ok {
-			continue
-		}
-		if _, ok := in[e.V]; !ok {
-			continue
-		}
-		b.AddEdge(e.U, e.V)
-	}
-	return b.MustBuild()
+	keep = sortDedupIndices(keep)
+	sub := g.compactInduced(keep, s)
+	s.ball = keep[:0]
+	return sub
 }
 
 // DeleteVertices returns a new graph with the given vertices (and their
 // incident edges) removed.
 func (g *Graph) DeleteVertices(del []NodeID) *Graph {
-	drop := make(map[NodeID]struct{}, len(del))
+	s := getScratch(len(g.ids))
+	defer putScratch(s)
+	ep := s.nextEpoch()
 	for _, v := range del {
-		drop[v] = struct{}{}
-	}
-	b := NewBuilder()
-	for _, v := range g.ids {
-		if _, gone := drop[v]; !gone {
-			b.AddNode(v)
+		if i, ok := g.index(v); ok {
+			s.stamp[i] = ep
 		}
 	}
-	for _, e := range g.edges {
-		if _, gone := drop[e.U]; gone {
-			continue
+	keep := s.ball[:0]
+	for i := range g.ids {
+		if s.stamp[i] != ep {
+			keep = append(keep, int32(i))
 		}
-		if _, gone := drop[e.V]; gone {
-			continue
-		}
-		b.AddEdge(e.U, e.V)
 	}
-	return b.MustBuild()
+	sub := g.compactInduced(keep, s)
+	s.ball = keep[:0]
+	return sub
 }
 
 // DeleteEdges returns a new graph with the given edges removed (endpoints
@@ -504,13 +548,17 @@ func (g *Graph) TwoCore() *Graph {
 			}
 		}
 	}
-	keep := make([]NodeID, 0, len(g.ids))
+	s := getScratch(len(g.ids))
+	defer putScratch(s)
+	keep := s.ball[:0]
 	for i, ok := range alive {
 		if ok {
-			keep = append(keep, g.ids[i])
+			keep = append(keep, int32(i))
 		}
 	}
-	return g.InducedSubgraph(keep)
+	sub := g.compactInduced(keep, s)
+	s.ball = keep[:0]
+	return sub
 }
 
 // ShortestPathLen returns the hop distance between u and v, or -1 if

@@ -5,6 +5,7 @@ package graph
 // BFS shortest-path tree rooted at r whose tree LCA is r, the cycle
 // path(r,x) + path(r,y) + (x,y). Candidates are reported as edge-index
 // slices (the buffer is reused across calls — callers must copy).
+// Enumeration stops early when fn returns false.
 //
 // maxLen > 0 restricts enumeration to cycles of length ≤ maxLen and bounds
 // the BFS depth at ⌊maxLen/2⌋ (sufficient: the two tree paths of a
@@ -13,7 +14,7 @@ package graph
 // This is the hot path of every void-preserving-transformation test, so it
 // works entirely on internal dense indices: no map lookups, and the BFS
 // state is reused across roots via an epoch-stamping trick.
-func (g *Graph) ForEachHortonCandidate(maxLen int, fn func(root NodeID, length int, edges []int32)) {
+func (g *Graph) ForEachHortonCandidate(maxLen int, fn func(root NodeID, length int, edges []int32) bool) {
 	n := len(g.ids)
 	if n == 0 || len(g.edges) == 0 {
 		return
@@ -23,13 +24,8 @@ func (g *Graph) ForEachHortonCandidate(maxLen int, fn func(root NodeID, length i
 		depthLimit = maxLen / 2
 	}
 
-	// Dense endpoint arrays for the edge scan.
-	eu := make([]int32, len(g.edges))
-	ev := make([]int32, len(g.edges))
-	for i, e := range g.edges {
-		eu[i] = int32(g.idx[e.U])
-		ev[i] = int32(g.idx[e.V])
-	}
+	// Dense endpoint arrays for the edge scan, precomputed at Build time.
+	eu, ev := g.edgeU, g.edgeV
 
 	var (
 		depth      = make([]int32, n)
@@ -103,7 +99,9 @@ func (g *Graph) ForEachHortonCandidate(maxLen int, fn func(root NodeID, length i
 			for c := y; parentEdge[c] >= 0; c = parent[c] {
 				buf = append(buf, parentEdge[c])
 			}
-			fn(g.ids[ri], length, buf)
+			if !fn(g.ids[ri], length, buf) {
+				return
+			}
 		}
 	}
 }

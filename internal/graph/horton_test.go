@@ -53,9 +53,10 @@ func TestHortonCandidatesAreCycles(t *testing.T) {
 	for name, g := range graphs {
 		t.Run(name, func(t *testing.T) {
 			count := 0
-			g.ForEachHortonCandidate(-1, func(root NodeID, length int, edges []int32) {
+			g.ForEachHortonCandidate(-1, func(root NodeID, length int, edges []int32) bool {
 				validateCandidate(t, g, root, length, edges)
 				count++
+				return true
 			})
 			if count == 0 {
 				t.Fatal("no candidates on a cyclic graph")
@@ -65,21 +66,24 @@ func TestHortonCandidatesAreCycles(t *testing.T) {
 }
 
 func TestHortonCandidatesEmptyOnForest(t *testing.T) {
-	Path(6).ForEachHortonCandidate(-1, func(NodeID, int, []int32) {
+	Path(6).ForEachHortonCandidate(-1, func(NodeID, int, []int32) bool {
 		t.Fatal("candidate on a tree")
+		return true
 	})
 }
 
 func TestHortonCandidatesRespectMaxLen(t *testing.T) {
 	g := Grid(5, 5)
-	g.ForEachHortonCandidate(4, func(_ NodeID, length int, _ []int32) {
+	g.ForEachHortonCandidate(4, func(_ NodeID, length int, _ []int32) bool {
 		if length > 4 {
 			t.Fatalf("candidate length %d exceeds bound", length)
 		}
+		return true
 	})
 	// A C8 has no candidates below its girth.
-	Cycle(8).ForEachHortonCandidate(7, func(NodeID, int, []int32) {
+	Cycle(8).ForEachHortonCandidate(7, func(NodeID, int, []int32) bool {
 		t.Fatal("candidate below girth reported")
+		return true
 	})
 }
 
@@ -94,10 +98,11 @@ func TestHortonCandidateBufferReuseSafe(t *testing.T) {
 		edges  []int32
 	}
 	var all []cand
-	g.ForEachHortonCandidate(-1, func(root NodeID, length int, edges []int32) {
+	g.ForEachHortonCandidate(-1, func(root NodeID, length int, edges []int32) bool {
 		cp := make([]int32, len(edges))
 		copy(cp, edges)
 		all = append(all, cand{root: root, length: length, edges: cp})
+		return true
 	})
 	for _, c := range all {
 		validateCandidate(t, g, c.root, c.length, c.edges)
@@ -149,8 +154,9 @@ func TestHortonSpansCycleSpace(t *testing.T) {
 				}
 			}
 		}
-		g.ForEachHortonCandidate(-1, func(_ NodeID, _ int, edges []int32) {
+		g.ForEachHortonCandidate(-1, func(_ NodeID, _ int, edges []int32) bool {
 			insert(edges)
+			return true
 		})
 		return len(rows) == g.CycleSpaceDim()
 	}
@@ -177,7 +183,7 @@ func BenchmarkHortonCandidates(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n := 0
-		g.ForEachHortonCandidate(6, func(NodeID, int, []int32) { n++ })
+		g.ForEachHortonCandidate(6, func(NodeID, int, []int32) bool { n++; return true })
 		if n == 0 {
 			b.Fatal("no candidates")
 		}

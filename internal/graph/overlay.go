@@ -1,0 +1,188 @@
+package graph
+
+// DeleteView is a deletion overlay over an immutable base Graph: vertices
+// are marked dead in O(1) instead of rebuilding the graph after every
+// deletion round. All queries see only the live subgraph. The overlay is
+// the substrate of the incremental deletability engine (internal/vpt
+// Cache): scheduling deletes thousands of vertices one independent set at
+// a time, and rebuilding a Graph per round was the dominant allocation
+// cost of the hot loop.
+//
+// A DeleteView never resurrects vertices; Materialize produces a real
+// Graph of the live remainder (structurally identical to
+// Base().DeleteVertices(everything deleted so far)).
+//
+// The zero value is not usable; construct with NewDeleteView. A DeleteView
+// is not safe for concurrent mutation; concurrent read-only queries (with
+// distinct Scratch instances) are safe.
+type DeleteView struct {
+	g       *Graph
+	gone    []bool // by base index
+	numGone int
+}
+
+// NewDeleteView returns an overlay on g with every vertex live.
+func NewDeleteView(g *Graph) *DeleteView {
+	return &DeleteView{g: g, gone: make([]bool, len(g.ids))}
+}
+
+// Base returns the underlying immutable graph.
+func (d *DeleteView) Base() *Graph { return d.g }
+
+// NumLive returns the number of live vertices.
+func (d *DeleteView) NumLive() int { return len(d.g.ids) - d.numGone }
+
+// Alive reports whether v is a live vertex of the view.
+func (d *DeleteView) Alive(v NodeID) bool {
+	i, ok := d.g.index(v)
+	return ok && !d.gone[i]
+}
+
+// Delete marks v dead and reports whether it was live. Absent or
+// already-dead vertices are a no-op.
+func (d *DeleteView) Delete(v NodeID) bool {
+	i, ok := d.g.index(v)
+	if !ok || d.gone[i] {
+		return false
+	}
+	d.gone[i] = true
+	d.numGone++
+	return true
+}
+
+// LiveNodes returns the live vertices in increasing ID order (fresh copy).
+func (d *DeleteView) LiveNodes() []NodeID {
+	out := make([]NodeID, 0, d.NumLive())
+	for i, v := range d.g.ids {
+		if !d.gone[i] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// LiveNeighbors returns the live neighbours of v in increasing ID order
+// (fresh copy), nil if v is dead or absent.
+func (d *DeleteView) LiveNeighbors(v NodeID) []NodeID {
+	i, ok := d.g.index(v)
+	if !ok || d.gone[i] {
+		return nil
+	}
+	out := make([]NodeID, 0, len(d.g.adj[i]))
+	for _, w := range d.g.adj[i] {
+		if !d.gone[w] {
+			out = append(out, d.g.ids[w])
+		}
+	}
+	return out
+}
+
+// LiveDegree returns the number of live neighbours of v (0 if dead or
+// absent).
+func (d *DeleteView) LiveDegree(v NodeID) int {
+	i, ok := d.g.index(v)
+	if !ok || d.gone[i] {
+		return 0
+	}
+	n := 0
+	for _, w := range d.g.adj[i] {
+		if !d.gone[w] {
+			n++
+		}
+	}
+	return n
+}
+
+// ballIdx runs a depth-bounded BFS from base index vi over live vertices
+// and returns the visited base indices excluding vi, sorted ascending. The
+// result aliases s.ball and is valid until the next use of s.
+func (d *DeleteView) ballIdx(vi int, k int, s *Scratch) []int32 {
+	s.ensure(len(d.g.ids))
+	ep := s.nextEpoch()
+	queue := s.queue[:0]
+	queue = append(queue, int32(vi))
+	s.stamp[vi] = ep
+	head := 0
+	for depth := 0; depth < k && head < len(queue); depth++ {
+		tail := len(queue)
+		for ; head < tail; head++ {
+			u := queue[head]
+			for _, w := range d.g.adj[u] {
+				if d.gone[w] || s.stamp[w] == ep {
+					continue
+				}
+				s.stamp[w] = ep
+				queue = append(queue, w)
+			}
+		}
+	}
+	s.queue = queue[:0]
+	s.ball = append(s.ball[:0], queue[1:]...)
+	return sortDedupIndices(s.ball)
+}
+
+// KHopBallIndices returns the base indices of the live vertices within k
+// hops of v (via live paths), excluding v, sorted ascending — the dirty
+// region of a deletion at v. Returns nil when v is dead or absent. The
+// slice aliases s and is only valid until s is next used.
+func (d *DeleteView) KHopBallIndices(v NodeID, k int, s *Scratch) []int32 {
+	vi, ok := d.g.index(v)
+	if !ok || d.gone[vi] {
+		return nil
+	}
+	return d.ballIdx(vi, k, s)
+}
+
+// KHopBall is KHopBallIndices resolved to node IDs (fresh copy). It equals
+// Materialize().KHopNeighbors(v, k).
+func (d *DeleteView) KHopBall(v NodeID, k int, s *Scratch) []NodeID {
+	idx := d.KHopBallIndices(v, k, s)
+	if idx == nil {
+		return nil
+	}
+	out := make([]NodeID, len(idx))
+	for i, bi := range idx {
+		out[i] = d.g.ids[bi]
+	}
+	return out
+}
+
+// ExtractNeighborhood builds the neighbourhood graph Γ^k(v) of the live
+// view — the subgraph induced by the live vertices within k hops of v, v
+// itself excluded — together with v's live direct neighbours (ascending).
+// This is exactly what the void-preserving-transformation test consumes;
+// the graph is structurally identical to
+// Materialize().InducedSubgraph(Materialize().KHopNeighbors(v, k)) but
+// costs two passes over the ball. Returns (nil, nil) when v is dead or
+// absent.
+func (d *DeleteView) ExtractNeighborhood(v NodeID, k int, s *Scratch) (*Graph, []NodeID) {
+	vi, ok := d.g.index(v)
+	if !ok || d.gone[vi] {
+		return nil, nil
+	}
+	ball := d.ballIdx(vi, k, s)
+	sub := d.g.compactInduced(ball, s)
+	direct := make([]NodeID, 0, len(d.g.adj[vi]))
+	for _, w := range d.g.adj[vi] {
+		if !d.gone[w] {
+			direct = append(direct, d.g.ids[w])
+		}
+	}
+	return sub, direct
+}
+
+// Materialize builds the live remainder as a real Graph, structurally
+// identical to applying DeleteVertices for every deleted vertex at once.
+func (d *DeleteView) Materialize() *Graph {
+	s := getScratch(len(d.g.ids))
+	defer putScratch(s)
+	keep := s.ball[:0]
+	for i := range d.g.ids {
+		if !d.gone[i] {
+			keep = append(keep, int32(i))
+		}
+	}
+	sub := d.g.compactInduced(keep, s)
+	s.ball = keep[:0]
+	return sub
+}

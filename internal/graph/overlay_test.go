@@ -1,0 +1,201 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// pickDead returns a random subset of g's nodes to delete.
+func pickDead(r *rand.Rand, g *Graph, p float64) []NodeID {
+	var del []NodeID
+	for _, v := range g.Nodes() {
+		if r.Float64() < p {
+			del = append(del, v)
+		}
+	}
+	return del
+}
+
+// TestCompactInducedMatchesBuilder pins the core structural claim of the
+// incremental engine: compactInduced produces a Graph byte-identical (by
+// reflect.DeepEqual on the unexported representation) to the one Builder
+// constructs from the same nodes and edges.
+func TestCompactInducedMatchesBuilder(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		g := randomGraph(r, 4+r.Intn(40), 0.05+r.Float64()*0.3)
+		var keep []int32
+		var nodes []NodeID
+		for i, v := range g.ids {
+			if r.Float64() < 0.7 {
+				keep = append(keep, int32(i))
+				nodes = append(nodes, v)
+			}
+		}
+		got := g.compactInduced(keep, NewScratch(g))
+
+		b := NewBuilder()
+		for _, v := range nodes {
+			b.AddNode(v)
+		}
+		for _, e := range g.Edges() {
+			if got.HasNode(e.U) && got.HasNode(e.V) {
+				b.AddEdge(e.U, e.V)
+			}
+		}
+		want := b.MustBuild()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: compactInduced differs from Builder\ngot:  %+v\nwant: %+v", trial, got, want)
+		}
+	}
+}
+
+// TestMaterializeMatchesDeleteVertices: the overlay's materialized remainder
+// must be structurally identical to rebuilding via DeleteVertices.
+func TestMaterializeMatchesDeleteVertices(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(r, 5+r.Intn(35), 0.1+r.Float64()*0.25)
+		del := pickDead(r, g, 0.4)
+		view := NewDeleteView(g)
+		for _, v := range del {
+			view.Delete(v)
+		}
+		got := view.Materialize()
+		want := g.DeleteVertices(del)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: Materialize differs from DeleteVertices(%v)", trial, del)
+		}
+		if view.NumLive() != want.NumNodes() {
+			t.Fatalf("trial %d: NumLive = %d, want %d", trial, view.NumLive(), want.NumNodes())
+		}
+	}
+}
+
+// TestKHopBallMatchesKHopNeighbors: ball queries on the overlay must agree
+// with KHopNeighbors on the rebuilt graph, for every live vertex and radius.
+func TestKHopBallMatchesKHopNeighbors(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	s := NewScratch(nil)
+	for trial := 0; trial < 25; trial++ {
+		g := randomGraph(r, 5+r.Intn(30), 0.1+r.Float64()*0.2)
+		view := NewDeleteView(g)
+		for _, v := range pickDead(r, g, 0.3) {
+			view.Delete(v)
+		}
+		live := view.Materialize()
+		for _, v := range live.Nodes() {
+			for k := 1; k <= 3; k++ {
+				got := view.KHopBall(v, k, s)
+				want := live.KHopNeighbors(v, k)
+				if len(got) == 0 && len(want) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d: KHopBall(%d,%d) = %v, want %v", trial, v, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestExtractNeighborhoodMatchesInduced: Γ^k(v) extracted from the overlay
+// must be structurally identical to InducedSubgraph(KHopNeighbors) on the
+// materialized graph, and the direct neighbours must match LiveNeighbors.
+func TestExtractNeighborhoodMatchesInduced(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	s := NewScratch(nil)
+	for trial := 0; trial < 25; trial++ {
+		g := randomGraph(r, 5+r.Intn(30), 0.1+r.Float64()*0.2)
+		view := NewDeleteView(g)
+		for _, v := range pickDead(r, g, 0.3) {
+			view.Delete(v)
+		}
+		live := view.Materialize()
+		for _, v := range live.Nodes() {
+			for k := 1; k <= 3; k++ {
+				sub, direct := view.ExtractNeighborhood(v, k, s)
+				want := live.InducedSubgraph(live.KHopNeighbors(v, k))
+				if !reflect.DeepEqual(sub, want) {
+					t.Fatalf("trial %d: ExtractNeighborhood(%d,%d) graph differs", trial, v, k)
+				}
+				wantDirect := view.LiveNeighbors(v)
+				if len(direct) == 0 && len(wantDirect) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(direct, wantDirect) {
+					t.Fatalf("trial %d: direct neighbours of %d = %v, want %v", trial, v, direct, wantDirect)
+				}
+			}
+		}
+	}
+}
+
+// TestDeleteViewQueries covers the O(1) overlay accessors against the
+// rebuilt graph.
+func TestDeleteViewQueries(t *testing.T) {
+	g := Grid(4, 4)
+	view := NewDeleteView(g)
+	if !view.Alive(5) || view.NumLive() != 16 {
+		t.Fatal("fresh view should have all 16 vertices live")
+	}
+	if !view.Delete(5) {
+		t.Fatal("Delete(5) on a live vertex should report true")
+	}
+	if view.Delete(5) {
+		t.Fatal("double Delete should report false")
+	}
+	if view.Delete(999) {
+		t.Fatal("Delete of an absent vertex should report false")
+	}
+	if view.Alive(5) || view.NumLive() != 15 {
+		t.Fatal("vertex 5 should be dead")
+	}
+	live := g.DeleteVertices([]NodeID{5})
+	if !reflect.DeepEqual(view.LiveNodes(), live.Nodes()) {
+		t.Fatalf("LiveNodes = %v, want %v", view.LiveNodes(), live.Nodes())
+	}
+	for _, v := range live.Nodes() {
+		if view.LiveDegree(v) != live.Degree(v) {
+			t.Fatalf("LiveDegree(%d) = %d, want %d", v, view.LiveDegree(v), live.Degree(v))
+		}
+		got, want := view.LiveNeighbors(v), live.Neighbors(v)
+		if len(got) != len(want) {
+			t.Fatalf("LiveNeighbors(%d) = %v, want %v", v, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("LiveNeighbors(%d) = %v, want %v", v, got, want)
+			}
+		}
+	}
+	if view.LiveNeighbors(5) != nil || view.LiveDegree(5) != 0 {
+		t.Fatal("dead vertex should have no live neighbours")
+	}
+	if view.KHopBall(5, 2, NewScratch(g)) != nil {
+		t.Fatal("KHopBall of a dead vertex should be nil")
+	}
+}
+
+// TestScratchReuseAcrossGraphs: one Scratch must serve graphs of different
+// sizes back to back without cross-contamination (epoch stamping).
+func TestScratchReuseAcrossGraphs(t *testing.T) {
+	s := NewScratch(nil)
+	r := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(r, 3+r.Intn(50), 0.2)
+		view := NewDeleteView(g)
+		for _, v := range pickDead(r, g, 0.25) {
+			view.Delete(v)
+		}
+		live := view.Materialize()
+		for _, v := range live.Nodes() {
+			sub, _ := view.ExtractNeighborhood(v, 2, s)
+			want := live.InducedSubgraph(live.KHopNeighbors(v, 2))
+			if !reflect.DeepEqual(sub, want) {
+				t.Fatalf("trial %d: scratch reuse corrupted extraction at %d", trial, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package graph
+
+// ForEachTriangle enumerates each 3-clique of g once as an edge-index
+// triple, stopping early when fn returns false. For every edge {u,v} the
+// sorted adjacency lists of u and v are merge-intersected, and a triangle
+// is reported at the common neighbour w only when w > v, so each triangle
+// is seen exactly once, in increasing order of its lowest edge index.
+//
+// Triangles are the first generators the short-cycle span inserts (see
+// internal/cycles), which makes this a hot path; the merge works entirely
+// on the dense internal arrays and performs no allocation.
+func (g *Graph) ForEachTriangle(fn func(e1, e2, e3 int32) bool) {
+	for ei := range g.edges {
+		ui, vi := g.edgeU[ei], g.edgeV[ei]
+		au, av := g.adj[ui], g.adj[vi]
+		aeu, aev := g.adjEdge[ui], g.adjEdge[vi]
+		a, b := 0, 0
+		for a < len(au) && b < len(av) {
+			switch {
+			case au[a] < av[b]:
+				a++
+			case au[a] > av[b]:
+				b++
+			default:
+				// Internal index order equals ID order, so w > vi selects
+				// exactly the w with ID greater than the edge's V endpoint.
+				if w := au[a]; w > vi {
+					if !fn(int32(ei), aeu[a], aev[b]) {
+						return
+					}
+				}
+				a++
+				b++
+			}
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package vpt
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dcc/internal/graph"
+)
+
+// randomConnected returns a random connected graph: a random spanning path
+// plus extra edges with probability p.
+func randomConnected(r *rand.Rand, n int, p float64) *graph.Graph {
+	perm := r.Perm(n)
+	b := graph.NewBuilder()
+	for i := 1; i < n; i++ {
+		b.AddEdge(graph.NodeID(perm[i-1]), graph.NodeID(perm[i]))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				b.AddEdge(graph.NodeID(i), graph.NodeID(j))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// checkAgainstFresh asserts that every live verdict of the cache equals a
+// from-scratch VertexDeletable on the materialized live graph.
+func checkAgainstFresh(t *testing.T, c *Cache, label string) {
+	t.Helper()
+	fresh := c.LiveGraph()
+	for _, v := range c.LiveNodes() {
+		got := c.Deletable(v)
+		want := VertexDeletable(fresh, v, c.Tau())
+		if got != want {
+			t.Fatalf("%s: cache.Deletable(%d) = %v, fresh VertexDeletable = %v (tau=%d)",
+				label, v, got, want, c.Tau())
+		}
+	}
+}
+
+func TestCacheMatchesFreshOnGrid(t *testing.T) {
+	for _, tau := range []int{3, 4, 5, 6} {
+		g := graph.TriangulatedGrid(5, 5)
+		c := NewCache(g, tau)
+		if c.Radius() != NeighborhoodRadius(tau) {
+			t.Fatalf("Radius() = %d, want %d", c.Radius(), NeighborhoodRadius(tau))
+		}
+		checkAgainstFresh(t, c, "initial")
+		// Delete a few deletable interior vertices one at a time, checking
+		// the whole verdict surface after each commit.
+		for round := 0; round < 3; round++ {
+			var pick graph.NodeID = ^graph.NodeID(0)
+			for _, v := range c.LiveNodes() {
+				if c.Deletable(v) {
+					pick = v
+					break
+				}
+			}
+			if pick == ^graph.NodeID(0) {
+				break
+			}
+			dirty := c.Commit([]graph.NodeID{pick})
+			for _, w := range dirty {
+				if !c.Alive(w) {
+					t.Fatalf("tau %d: Commit returned dead vertex %d as dirty", tau, w)
+				}
+			}
+			if c.Alive(pick) {
+				t.Fatalf("tau %d: committed vertex %d still alive", tau, pick)
+			}
+			checkAgainstFresh(t, c, "after commit")
+		}
+	}
+}
+
+// TestCacheDirtySetIsExactBall pins the invalidation region: Commit must
+// return exactly the live k-hop ball of the deleted vertex measured on the
+// pre-removal view.
+func TestCacheDirtySetIsExactBall(t *testing.T) {
+	g := graph.TriangulatedGrid(6, 6)
+	for _, tau := range []int{3, 5, 7} {
+		c := NewCache(g, tau)
+		before := c.LiveGraph()
+		v := graph.NodeID(14) // interior
+		want := before.KHopNeighbors(v, c.Radius())
+		got := c.Commit([]graph.NodeID{v})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("tau %d: dirty set = %v, want pre-removal %d-hop ball %v", tau, got, c.Radius(), want)
+		}
+	}
+}
+
+// TestCacheBoundaryRingDeletion exercises a deletion whose dirty ball is
+// clipped by the graph boundary: removing a ring vertex of a cycle-with-
+// chords graph must invalidate only its surviving ball and keep the
+// remaining verdicts fresh.
+func TestCacheBoundaryRingDeletion(t *testing.T) {
+	// A ring 0..11 with spokes to a hub 100: ring vertices sit on the
+	// "boundary" of the ball structure (their balls are arcs, not disks).
+	b := graph.NewBuilder()
+	for i := 0; i < 12; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%12))
+		b.AddEdge(graph.NodeID(i), 100)
+	}
+	g := b.MustBuild()
+	for _, tau := range []int{3, 4} {
+		c := NewCache(g, tau)
+		checkAgainstFresh(t, c, "ring initial")
+		dirty := c.Commit([]graph.NodeID{0})
+		want := g.KHopNeighbors(0, c.Radius())
+		if !reflect.DeepEqual(dirty, want) {
+			t.Fatalf("tau %d: ring dirty set = %v, want %v", tau, dirty, want)
+		}
+		checkAgainstFresh(t, c, "ring after commit")
+	}
+}
+
+// TestCacheTauThreeMinimumRadius: at the minimum confine size τ=3 the
+// radius is k=2; deleting a vertex must not leave stale verdicts exactly at
+// the ball edge.
+func TestCacheTauThreeMinimumRadius(t *testing.T) {
+	g := graph.TriangulatedGrid(7, 7)
+	c := NewCache(g, 3)
+	if c.Radius() != 2 {
+		t.Fatalf("tau=3 radius = %d, want 2", c.Radius())
+	}
+	// Warm every verdict, then delete the center and re-check everything —
+	// vertices ≤2 hops away must be recomputed, those beyond must still be
+	// correct without recomputation.
+	for _, v := range c.LiveNodes() {
+		c.Deletable(v)
+	}
+	warm := c.Stats().Computes
+	center := graph.NodeID(3*7 + 3)
+	dirty := c.Commit([]graph.NodeID{center})
+	checkAgainstFresh(t, c, "tau3 after center deletion")
+	recomputed := c.Stats().Computes - warm
+	if recomputed > len(dirty) {
+		t.Fatalf("recomputed %d verdicts, but only %d were dirtied", recomputed, len(dirty))
+	}
+	if inv := c.Stats().Invalidated; inv != len(dirty) {
+		t.Fatalf("Invalidated = %d, want %d (all warm)", inv, len(dirty))
+	}
+}
+
+// TestCacheRemoveInvalidatesLikeCommit: crash-removals (Remove) must dirty
+// the same region as scheduled deletions (Commit) — the distributed runtime
+// relies on this under Config.Faults.
+func TestCacheRemoveInvalidatesLikeCommit(t *testing.T) {
+	g := graph.TriangulatedGrid(6, 6)
+	v := graph.NodeID(2*6 + 3)
+	a, b := NewCache(g, 5), NewCache(g, 5)
+	da := a.Commit([]graph.NodeID{v})
+	db := b.Remove([]graph.NodeID{v})
+	if !reflect.DeepEqual(da, db) {
+		t.Fatalf("Commit dirty %v != Remove dirty %v", da, db)
+	}
+	checkAgainstFresh(t, b, "after crash removal")
+}
+
+// TestCacheBatchCommit: removing an independent set at once (the parallel
+// scheduler's round commit) must dirty the union of balls and never return
+// a vertex of the batch itself.
+func TestCacheBatchCommit(t *testing.T) {
+	g := graph.TriangulatedGrid(6, 6)
+	c := NewCache(g, 4)
+	batch := []graph.NodeID{8, 27} // far apart
+	dirty := c.Commit(batch)
+	for _, v := range batch {
+		if c.Alive(v) {
+			t.Fatalf("batch vertex %d still alive", v)
+		}
+		for _, w := range dirty {
+			if w == v {
+				t.Fatalf("dirty set contains deleted vertex %d", v)
+			}
+		}
+	}
+	checkAgainstFresh(t, c, "after batch commit")
+}
+
+// TestCacheDeadAndAbsent: dead and absent vertices are never deletable and
+// never dirty anything.
+func TestCacheDeadAndAbsent(t *testing.T) {
+	g := graph.TriangulatedGrid(4, 4)
+	c := NewCache(g, 3)
+	if c.Deletable(999) {
+		t.Fatal("absent vertex reported deletable")
+	}
+	if got := c.Commit([]graph.NodeID{999}); len(got) != 0 {
+		t.Fatalf("Commit(absent) dirtied %v", got)
+	}
+	c.Commit([]graph.NodeID{5})
+	if c.Deletable(5) {
+		t.Fatal("dead vertex reported deletable")
+	}
+	if got := c.Commit([]graph.NodeID{5}); len(got) != 0 {
+		t.Fatalf("Commit(dead) dirtied %v", got)
+	}
+}
+
+// TestCacheComputeFreshAndStore models the parallel scheduler's protocol:
+// workers compute verdicts with caller-owned scratch, the main goroutine
+// publishes them with Store, and subsequent Deletable calls hit the memo.
+func TestCacheComputeFreshAndStore(t *testing.T) {
+	g := graph.TriangulatedGrid(5, 5)
+	c := NewCache(g, 4)
+	s, tester := graph.NewScratch(g), NewTester()
+	fresh := c.LiveGraph()
+	for _, v := range c.LiveNodes() {
+		got := c.ComputeFresh(v, s, tester)
+		if want := VertexDeletable(fresh, v, 4); got != want {
+			t.Fatalf("ComputeFresh(%d) = %v, want %v", v, got, want)
+		}
+		c.Store(v, got)
+	}
+	before := c.Stats().Computes
+	for _, v := range c.LiveNodes() {
+		c.Deletable(v)
+	}
+	if c.Stats().Computes != before {
+		t.Fatalf("Deletable recomputed %d verdicts after Store warmed them", c.Stats().Computes-before)
+	}
+}
+
+// FuzzCacheConsistency drives a cache through random Commit/Remove
+// sequences on random connected graphs and asserts every live verdict
+// always equals fresh recomputation — the end-to-end statement of the
+// dirty-radius soundness argument.
+func FuzzCacheConsistency(f *testing.F) {
+	f.Add(int64(1), 12, 3)
+	f.Add(int64(2), 20, 4)
+	f.Add(int64(3), 16, 5)
+	f.Add(int64(4), 24, 6)
+	f.Fuzz(func(t *testing.T, seed int64, n, tau int) {
+		if n < 4 || n > 40 || tau < 3 || tau > 8 {
+			t.Skip()
+		}
+		r := rand.New(rand.NewSource(seed))
+		g := randomConnected(r, n, 0.15)
+		c := NewCache(g, tau)
+		for step := 0; step < 6; step++ {
+			live := c.LiveNodes()
+			if len(live) == 0 {
+				break
+			}
+			// Warm a random subset so invalidation has verdicts to stale.
+			for _, v := range live {
+				if r.Float64() < 0.5 {
+					c.Deletable(v)
+				}
+			}
+			v := live[r.Intn(len(live))]
+			if r.Float64() < 0.5 {
+				c.Commit([]graph.NodeID{v})
+			} else {
+				c.Remove([]graph.NodeID{v})
+			}
+			fresh := c.LiveGraph()
+			for _, w := range c.LiveNodes() {
+				if got, want := c.Deletable(w), VertexDeletable(fresh, w, tau); got != want {
+					t.Fatalf("step %d: node %d cache=%v fresh=%v (seed=%d n=%d tau=%d, deleted %d)",
+						step, w, got, want, seed, n, tau, v)
+				}
+			}
+		}
+	})
+}

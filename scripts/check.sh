@@ -30,6 +30,14 @@ go test -race -timeout 30m ./...
 echo '== go test -tags dccdebug'
 go test -tags dccdebug ./...
 
+echo '== cache consistency smoke (deep assertions)'
+# The incremental deletability engine with its dccdebug cross-checks armed:
+# every cached verdict is compared against fresh recomputation, and every
+# Commit/Remove is followed by a dirty-set audit. The reference regression
+# pins the cache-backed schedulers to the pre-cache engines byte for byte.
+go test -tags dccdebug -run '^TestCache|^FuzzCacheConsistency$' ./internal/vpt
+go test -tags dccdebug -run 'MatchesReference$' ./internal/core
+
 echo '== runner race (repeated)'
 go test -race -count=2 ./internal/runner
 
@@ -43,5 +51,6 @@ echo '== fuzz smoke'
 go test -run=NONE -fuzz='^FuzzVectorXOR$' -fuzztime=5s ./internal/bitvec
 go test -run=NONE -fuzz='^FuzzRank$' -fuzztime=5s ./internal/bitvec
 go test -run=NONE -fuzz='^FuzzFrameRoundTrip$' -fuzztime=5s ./internal/dist
+go test -run=NONE -fuzz='^FuzzCacheConsistency$' -fuzztime=5s ./internal/vpt
 
 echo 'check.sh: all gates passed'
