@@ -3,20 +3,29 @@
 //
 // Usage:
 //
-//	dcclint [-list] [packages]
+//	dcclint [-list] [-json] [-analyzers a,b,...] [packages]
 //
 // Packages default to ./... resolved from the current directory; the
 // patterns understood are "./...", "./dir" and "./dir/...". Typical use,
 // from the module root:
 //
 //	go run ./cmd/dcclint ./...
+//	go run ./cmd/dcclint -json ./... | jq .analyzer
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+// With -json each finding is one NDJSON object on stdout:
+//
+//	{"file":"internal/core/core.go","line":12,"col":2,"analyzer":"maprange","message":"..."}
+//
+// Findings are ordered by file, line, column, then analyzer name, so two
+// runs over the same tree produce byte-identical output. Exit status:
+// 0 clean, 1 findings, 2 usage or load failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -24,20 +33,42 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+// jsonDiag is the NDJSON wire shape of one finding. Field order is fixed
+// by the struct, so output is stable across runs and Go versions.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
 	flags := flag.NewFlagSet("dcclint", flag.ContinueOnError)
+	flags.SetOutput(stderr)
 	list := flags.Bool("list", false, "list analyzers and exit")
+	asJSON := flags.Bool("json", false, "emit findings as NDJSON on stdout")
+	names := flags.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	if err := flags.Parse(args); err != nil {
 		return 2
 	}
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	analyzers := lint.Analyzers()
+	if *names != "" {
+		var err error
+		analyzers, err = lint.AnalyzersByName(*names)
+		if err != nil {
+			fmt.Fprintln(stderr, "dcclint:", err)
+			return 2
+		}
 	}
 	patterns := flags.Args()
 	if len(patterns) == 0 {
@@ -45,24 +76,38 @@ func run(args []string) int {
 	}
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dcclint:", err)
+		fmt.Fprintln(stderr, "dcclint:", err)
 		return 2
 	}
 	pkgs, err := lint.Load(cwd, patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dcclint:", err)
+		fmt.Fprintln(stderr, "dcclint:", err)
 		return 2
 	}
-	diags := lint.Run(pkgs, lint.Analyzers())
+	diags := lint.Run(pkgs, analyzers)
+	enc := json.NewEncoder(stdout)
 	for _, d := range diags {
 		// Report paths relative to the working directory when possible.
 		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
 			d.Pos.Filename = rel
 		}
-		fmt.Println(d)
+		if *asJSON {
+			if err := enc.Encode(jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}); err != nil {
+				fmt.Fprintln(stderr, "dcclint:", err)
+				return 2
+			}
+		} else {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "dcclint: %d finding(s)\n", len(diags))
+		fmt.Fprintf(stderr, "dcclint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0

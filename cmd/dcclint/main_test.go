@@ -1,8 +1,12 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"dcc/internal/lint"
@@ -38,5 +42,141 @@ func TestSelfLint(t *testing.T) {
 	}
 	if len(diags) > 0 {
 		t.Errorf("dcclint found %d violation(s) in the tree; fix them or add a reasoned waiver", len(diags))
+	}
+}
+
+// tempModule writes a throwaway module and chdirs into it for the duration
+// of the test, since run() resolves patterns from the working directory.
+func tempModule(t *testing.T, files map[string]string) {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module scratch\n\ngo 1.22\n"
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prev, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(prev); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+const violatingSrc = `package scratch
+
+import "os"
+
+func Probe() {
+	os.Remove("x")
+}
+`
+
+// TestRunFindingsExitOne: findings go to stdout, the count to stderr, and
+// the process exits 1.
+func TestRunFindingsExitOne(t *testing.T) {
+	tempModule(t, map[string]string{"a.go": violatingSrc})
+	var out, errw bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errw); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "droppederr") {
+		t.Errorf("stdout missing the finding: %q", out.String())
+	}
+	if !strings.Contains(errw.String(), "1 finding(s)") {
+		t.Errorf("stderr missing the count: %q", errw.String())
+	}
+}
+
+// TestRunJSON: -json emits one NDJSON object per finding with the stable
+// five-field shape.
+func TestRunJSON(t *testing.T) {
+	tempModule(t, map[string]string{"a.go": violatingSrc})
+	var out, errw bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &out, &errw); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errw.String())
+	}
+	var got []jsonDiag
+	sc := bufio.NewScanner(&out)
+	for sc.Scan() {
+		var d jsonDiag
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		got = append(got, d)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(got), got)
+	}
+	d := got[0]
+	if d.File != "a.go" || d.Line != 6 || d.Col != 2 || d.Analyzer != "droppederr" || d.Message == "" {
+		t.Errorf("unexpected finding: %+v", d)
+	}
+}
+
+// TestRunCleanExitZero: a clean tree produces no output and exit 0.
+func TestRunCleanExitZero(t *testing.T) {
+	tempModule(t, map[string]string{"a.go": "package scratch\n\nfunc OK() int { return 1 }\n"})
+	var out, errw bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errw); code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, errw.String())
+	}
+	if out.Len() != 0 || errw.Len() != 0 {
+		t.Errorf("clean run produced output: stdout=%q stderr=%q", out.String(), errw.String())
+	}
+}
+
+// TestRunLoadErrorExitTwo: an unparseable tree is a load failure, not a
+// finding.
+func TestRunLoadErrorExitTwo(t *testing.T) {
+	tempModule(t, map[string]string{"a.go": "package scratch\n\nfunc Broken( {\n"})
+	var out, errw bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errw); code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "dcclint:") {
+		t.Errorf("stderr missing the load error: %q", errw.String())
+	}
+}
+
+// TestRunAnalyzersFlag: -analyzers restricts the run, and an unknown name
+// is a usage error.
+func TestRunAnalyzersFlag(t *testing.T) {
+	tempModule(t, map[string]string{"a.go": violatingSrc})
+	var out, errw bytes.Buffer
+	if code := run([]string{"-analyzers", "wallclock", "./..."}, &out, &errw); code != 0 {
+		t.Fatalf("filtered exit = %d, want 0; stdout: %s", code, out.String())
+	}
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-analyzers", "bogus", "./..."}, &out, &errw); code != 2 {
+		t.Fatalf("unknown analyzer exit = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "unknown analyzer") {
+		t.Errorf("stderr missing the unknown-analyzer error: %q", errw.String())
+	}
+}
+
+// TestRunList: -list names every registered analyzer.
+func TestRunList(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errw); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	lines := strings.Count(out.String(), "\n")
+	if want := len(lint.Analyzers()); lines != want {
+		t.Errorf("-list printed %d lines, want %d:\n%s", lines, want, out.String())
+	}
+	for _, name := range []string{"seedflow", "streamid", "barrier", "hotalloc"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s", name)
+		}
 	}
 }

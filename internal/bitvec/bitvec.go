@@ -29,6 +29,8 @@ type Vector struct {
 }
 
 // New returns a zero vector of length n.
+//
+//lint:ignore hotalloc constructor of a caller-owned vector; the hot loop reaches it only through Echelon.TakeScratch's recycler-dry fallback, which is cold once the elimination workspace is warm
 func New(n int) Vector {
 	if n < 0 {
 		panic(fmt.Sprintf("bitvec: negative length %d", n))

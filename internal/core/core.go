@@ -323,6 +323,7 @@ func cachedVerdicts(cache *vpt.Cache, toTest []graph.NodeID, workers int) []bool
 		}
 		vals := make([]bool, hi-lo)
 		for i := lo; i < hi; i++ {
+			//lint:ignore barrier ComputeFresh is read-only by the Cache contract (no memo access, caller-owned scratch); verdicts are published via Store after the join
 			vals[i-lo] = cache.ComputeFresh(toTest[i], kit.s, kit.t)
 		}
 		return vals, nil

@@ -6,8 +6,16 @@ import (
 	"sort"
 
 	"dcc/internal/graph"
+	"dcc/internal/runner"
 	"dcc/internal/vpt"
 )
+
+// streamBiasedShuffle is the DeriveSeed stream of the duty-biased
+// scheduler's tie-breaking shuffle (one derivation per rotation epoch; the
+// epoch number rides in the run slot). The value spells "bias" in ASCII and
+// stays far away from the experiment stream table in
+// internal/experiments/streams.go.
+const streamBiasedShuffle uint64 = 0x62696173
 
 // ThinEdges applies the edge-deletion operator of the void-preserving
 // transformation (Definition 5 covers both vertices and edges): it removes
@@ -103,7 +111,7 @@ func scheduleBiased(net Network, opts Options, duty map[graph.NodeID]int, salt i
 	if opts.Tau < 3 {
 		return Result{}, fmt.Errorf("core: tau %d: %w", opts.Tau, ErrTauTooSmall)
 	}
-	rng := rand.New(rand.NewSource(opts.Seed ^ salt*0x9e3779b9))
+	rng := rand.New(rand.NewSource(runner.DeriveSeed(opts.Seed, streamBiasedShuffle, int(salt))))
 	cache := vpt.NewCache(net.G, opts.Tau)
 
 	queue := net.InternalNodes()

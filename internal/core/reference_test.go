@@ -201,7 +201,7 @@ func TestBiasedMatchesReference(t *testing.T) {
 }
 
 func referenceBiased(net Network, opts Options, duty map[graph.NodeID]int, salt int64) Result {
-	rng := rand.New(rand.NewSource(opts.Seed ^ salt*0x9e3779b9))
+	rng := rand.New(rand.NewSource(runner.DeriveSeed(opts.Seed, streamBiasedShuffle, int(salt))))
 	g := net.G
 	k := vpt.NeighborhoodRadius(opts.Tau)
 

@@ -31,51 +31,6 @@ import (
 	"dcc/internal/trace"
 )
 
-// Seed streams of the harness. Every randomized draw derives its seed as
-// runner.DeriveSeed(cfg.Seed, stream, run); distinct streams keep the
-// figure runners' randomness disjoint no matter how many runners exist
-// (TestSeedDerivationDisjoint checks all of them for Runs ≤ 10000).
-const (
-	streamFig2Deploy uint64 = iota + 1
-	streamFig2Schedule
-	streamFig3Deploy
-	streamFig3Schedule
-	streamFig4Deploy
-	streamFig4Schedule
-	streamTrace // Figures 5–7 share one synthetic trace
-	streamEnginesDeploy
-	streamEnginesSchedule
-	streamLossDeploy
-	streamLossSchedule
-	streamQuasiDeploy
-	streamQuasiSchedule
-	streamRotationDeploy
-	streamRotationSchedule
-	streamReliabilityDeploy
-	streamReliabilitySchedule
-)
-
-// seedStreams names every stream above for the disjointness test.
-var seedStreams = map[string]uint64{
-	"fig2-deploy":          streamFig2Deploy,
-	"fig2-schedule":        streamFig2Schedule,
-	"fig3-deploy":          streamFig3Deploy,
-	"fig3-schedule":        streamFig3Schedule,
-	"fig4-deploy":          streamFig4Deploy,
-	"fig4-schedule":        streamFig4Schedule,
-	"trace":                streamTrace,
-	"engines-deploy":       streamEnginesDeploy,
-	"engines-schedule":     streamEnginesSchedule,
-	"loss-deploy":          streamLossDeploy,
-	"loss-schedule":        streamLossSchedule,
-	"quasi-deploy":         streamQuasiDeploy,
-	"quasi-schedule":       streamQuasiSchedule,
-	"rotation-deploy":      streamRotationDeploy,
-	"rotation-schedule":    streamRotationSchedule,
-	"reliability-deploy":   streamReliabilityDeploy,
-	"reliability-schedule": streamReliabilitySchedule,
-}
-
 // Config scales the harness. The zero value is filled with paper-like
 // parameters; Quick selects a reduced configuration suitable for CI and
 // benchmarks.

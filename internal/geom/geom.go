@@ -232,6 +232,7 @@ func MinEnclosingCircle(pts []Point) Circle {
 	// linear time needs a random-ish order, and determinism keeps results
 	// reproducible.
 	ps := append([]Point(nil), pts...)
+	//lint:ignore seedflow fixed shuffle order is part of the algorithm, not an experiment: the circle is order-independent, only the expected running time needs a scrambled input, and a constant keeps it Config-independent
 	rng := rand.New(rand.NewSource(1))
 	rng.Shuffle(len(ps), func(i, j int) { ps[i], ps[j] = ps[j], ps[i] })
 

@@ -91,6 +91,8 @@ func putScratch(s *Scratch) { scratchPool.Put(s) }
 // parallel edge-index lists — but in two array passes with no maps, which
 // is what makes per-candidate neighbourhood extraction affordable inside
 // the deletability hot loop.
+//
+//lint:ignore hotalloc constructs the returned Graph: its backing arrays are owned by the result and must outlive every scratch buffer; the two-pass layout already allocates the exact final sizes
 func (g *Graph) compactInduced(keep []int32, s *Scratch) *Graph {
 	s.ensure(len(g.ids))
 	nl := len(keep)
@@ -178,6 +180,7 @@ func sortDedupIndices(keep []int32) []int32 {
 		if i > 0 && keep[i-1] == b {
 			continue
 		}
+		//lint:ignore hotalloc in-place dedup: out aliases keep's storage and never outgrows it, so the append cannot reallocate
 		out = append(out, b)
 	}
 	return out

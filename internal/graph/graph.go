@@ -300,6 +300,8 @@ type BFSTree struct {
 
 // BFS computes a shortest-path tree from root, visiting neighbours in
 // increasing ID order (deterministic). maxDepth < 0 means unbounded.
+//
+//lint:ignore hotalloc returns a freshly allocated tree by contract (it must outlive any scratch); hot callers only run it on the compact neighbourhood graph, bounding the cost by the ball order
 func (g *Graph) BFS(root NodeID, maxDepth int) *BFSTree {
 	r := g.internalIndex(root)
 	t := &BFSTree{
@@ -466,18 +468,44 @@ func (g *Graph) DeleteEdges(del []Edge) *Graph {
 }
 
 // IsConnected reports whether the graph is connected. The empty graph and
-// single-node graphs are connected.
+// single-node graphs are connected. Runs on the pooled epoch-stamped
+// scratch, so it is allocation-free once the pool is warm — it sits on the
+// deletability hot path (every neighbourhood verdict starts with a
+// connectivity check).
 func (g *Graph) IsConnected() bool {
 	if len(g.ids) <= 1 {
 		return true
 	}
-	t := g.BFS(g.ids[0], -1)
-	for _, d := range t.depth {
-		if d < 0 {
-			return false
+	s := getScratch(len(g.ids))
+	defer putScratch(s)
+	return g.flood(s, 0, s.nextEpoch()) == len(g.ids)
+}
+
+// flood stamps every vertex reachable from start (by internal index) with
+// epoch ep and returns the number of newly stamped vertices; already
+// stamped regions are skipped, so repeated floods under one epoch
+// enumerate components. The traversal borrows s.queue.
+func (g *Graph) flood(s *Scratch, start int32, ep int32) int {
+	if s.stamp[start] == ep {
+		return 0
+	}
+	queue := s.queue[:0]
+	s.stamp[start] = ep
+	queue = append(queue, start)
+	count := 0
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		count++
+		for _, w := range g.adj[u] {
+			if s.stamp[w] != ep {
+				s.stamp[w] = ep
+				queue = append(queue, w)
+			}
 		}
 	}
-	return true
+	s.queue = queue[:0]
+	return count
 }
 
 // ConnectedComponents returns the node sets of all connected components,
@@ -509,8 +537,27 @@ func (g *Graph) ConnectedComponents() [][]NodeID {
 	return comps
 }
 
-// NumComponents returns the number of connected components.
-func (g *Graph) NumComponents() int { return len(g.ConnectedComponents()) }
+// NumComponents returns the number of connected components. Unlike
+// ConnectedComponents it does not materialize the node sets: the count
+// comes from repeated scratch floods, allocation-free once the pool is
+// warm (CycleSpaceDim needs it inside the deletability hot loop).
+func (g *Graph) NumComponents() int {
+	n := len(g.ids)
+	if n == 0 {
+		return 0
+	}
+	s := getScratch(n)
+	defer putScratch(s)
+	ep := s.nextEpoch()
+	comps := 0
+	for i := range g.ids {
+		if s.stamp[i] != ep {
+			comps++
+			g.flood(s, int32(i), ep)
+		}
+	}
+	return comps
+}
 
 // CycleSpaceDim returns the dimension of the graph's cycle space,
 // ν = m − n + c.
@@ -521,6 +568,8 @@ func (g *Graph) CycleSpaceDim() int {
 // TwoCore returns the subgraph obtained by repeatedly deleting vertices of
 // degree < 2. The 2-core carries the entire cycle space of the graph, so
 // cycle computations may be restricted to it.
+//
+//lint:ignore hotalloc transient peel buffers sized by the already-compacted neighbourhood graph, freed with the call; the kept-set and result construction reuse the pooled scratch via compactInduced
 func (g *Graph) TwoCore() *Graph {
 	deg := make([]int, len(g.ids))
 	alive := make([]bool, len(g.ids))

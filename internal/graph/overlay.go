@@ -155,6 +155,8 @@ func (d *DeleteView) KHopBall(v NodeID, k int, s *Scratch) []NodeID {
 // Materialize().InducedSubgraph(Materialize().KHopNeighbors(v, k)) but
 // costs two passes over the ball. Returns (nil, nil) when v is dead or
 // absent.
+//
+//lint:ignore hotalloc the direct-neighbour slice is part of the return value (bounded by deg(v), consumed by the deletability test); ball traversal and subgraph construction reuse the caller's Scratch
 func (d *DeleteView) ExtractNeighborhood(v NodeID, k int, s *Scratch) (*Graph, []NodeID) {
 	vi, ok := d.g.index(v)
 	if !ok || d.gone[vi] {

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BarrierAnalyzer enforces the runner.Map task-closure hygiene of DESIGN.md
+// §9: a task must communicate only through its return value, which the pool
+// slots into the results slice at the task's own index — the join is the
+// barrier, and everything observable must happen after it. Inside a task
+// closure the analyzer flags (1) writes to captured variables, except
+// stores to a captured slice at exactly the closure's own index parameter;
+// (2) calls to pointer-receiver methods of the deterministic packages on
+// captured values (those methods mutate shared engine state — a data race
+// and an iteration-order hazard even when guarded, since completion order
+// is scheduler-dependent); and (3) I/O — fmt printing or Write-family
+// method calls on captured writers — which would interleave output before
+// the barrier. Provably task-local state (declared inside the closure)
+// is exempt.
+var BarrierAnalyzer = &Analyzer{
+	Name: "barrier",
+	Doc:  "runner.Map task closures must not mutate shared state or emit output before the barrier",
+	Run:  runBarrier,
+}
+
+func runBarrier(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.calleeFunc(call)
+			if fn == nil || fn.Pkg() == nil ||
+				fn.Pkg().Path() != runnerPkg || fn.Name() != "Map" {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			task, ok := ast.Unparen(call.Args[len(call.Args)-1]).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkTaskClosure(pass, task)
+			return true
+		})
+	}
+}
+
+// checkTaskClosure walks one runner.Map task body. Nested function literals
+// are part of the task: the capture boundary is the task closure itself.
+func checkTaskClosure(pass *Pass, task *ast.FuncLit) {
+	indexParam := taskIndexParam(pass, task)
+	captured := func(obj types.Object) bool {
+		return obj != nil &&
+			(obj.Pos() < task.Pos() || obj.Pos() >= task.End())
+	}
+
+	ast.Inspect(task.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				checkWrite(pass, lhs, indexParam, captured)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, s.X, indexParam, captured)
+		case *ast.UnaryExpr:
+			// &captured escaping into a call is beyond this analyzer;
+			// mutation through it is caught by the race-detector gate.
+		case *ast.CallExpr:
+			checkTaskCall(pass, s, captured)
+		}
+		return true
+	})
+}
+
+// taskIndexParam returns the object of the task closure's index parameter
+// (the int argument runner.Map invokes the task with), or nil.
+func taskIndexParam(pass *Pass, task *ast.FuncLit) types.Object {
+	params := task.Type.Params
+	if params == nil || len(params.List) == 0 || len(params.List[0].Names) == 0 {
+		return nil
+	}
+	return pass.ObjectOf(params.List[0].Names[0])
+}
+
+// checkWrite flags an assignment target that reaches captured state. The
+// one blessed shape is captured[i] = ... with i exactly the task's index
+// parameter — each task owns that slot by construction.
+func checkWrite(pass *Pass, lhs ast.Expr, indexParam types.Object, captured func(types.Object) bool) {
+	lhs = ast.Unparen(lhs)
+	if idx, ok := lhs.(*ast.IndexExpr); ok {
+		if base := baseObject(pass, idx.X); captured(base) {
+			if id, ok := ast.Unparen(idx.Index).(*ast.Ident); ok &&
+				indexParam != nil && pass.ObjectOf(id) == indexParam {
+				return // the task's own slot
+			}
+			pass.Reportf(lhs.Pos(), "",
+				"task closure writes to captured %q at an index other than the task's own; return the value through runner.Map instead", baseObject(pass, idx.X).Name())
+			return
+		}
+	}
+	if obj := baseObject(pass, lhs); captured(obj) {
+		pass.Reportf(lhs.Pos(), "",
+			"task closure writes to captured %q before the barrier; return the value through runner.Map instead", obj.Name())
+	}
+}
+
+// checkTaskCall flags I/O and deterministic-package mutation reached
+// through captured values.
+func checkTaskCall(pass *Pass, call *ast.CallExpr, captured func(types.Object) bool) {
+	fn := pass.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	// fmt printing: output before the barrier interleaves across workers.
+	if fn.Pkg().Path() == "fmt" && ioFuncNames[fn.Name()] {
+		pass.Reportf(call.Pos(), "",
+			"task closure calls fmt.%s before the barrier; collect results and emit after runner.Map returns", fn.Name())
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recv := baseObject(pass, sel.X)
+	if !captured(recv) {
+		return
+	}
+	// Write-family methods on a captured receiver: emission before the
+	// barrier regardless of the concrete writer.
+	if ioMethodNames[fn.Name()] {
+		pass.Reportf(call.Pos(), "",
+			"task closure calls %s.%s before the barrier; collect results and emit after runner.Map returns", recv.Name(), fn.Name())
+		return
+	}
+	// Pointer-receiver methods of the deterministic packages mutate engine
+	// state shared across tasks.
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return
+	}
+	if _, isPtr := sig.Recv().Type().(*types.Pointer); !isPtr {
+		return
+	}
+	if DeterministicPkgs[fn.Pkg().Path()] {
+		pass.Reportf(call.Pos(), "",
+			"task closure calls pointer-receiver method (%s).%s on captured %q; shared deterministic-engine state must not be touched from tasks", sig.Recv().Type(), fn.Name(), recv.Name())
+	}
+}
+
+var ioFuncNames = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+var ioMethodNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// baseObject peels selectors, indexes, stars and parens off expr and
+// resolves the base identifier's object (nil if the base is not a plain
+// identifier).
+func baseObject(pass *Pass, expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.Ident:
+			return pass.ObjectOf(e)
+		default:
+			return nil
+		}
+	}
+}

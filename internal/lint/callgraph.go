@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file builds the approximate module-internal call graph the hotalloc
+// reachability walk runs on: edges are statically resolved calls (plain
+// identifiers and selectors); calls through function values, interfaces and
+// deferred method values are conservatively missed. Function-literal bodies
+// are attributed to their enclosing declaration — a closure's allocations
+// and calls belong to the function that runs it.
+
+// declOf returns the *ast.FuncDecl declaring fn, for functions declared in
+// this package (nil otherwise). The index is built lazily on first use.
+func (p *Package) declOf(fn *types.Func) *ast.FuncDecl {
+	if p.decls == nil {
+		p.decls = make(map[types.Object]*ast.FuncDecl)
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					if obj := p.Info.Defs[fd.Name]; obj != nil {
+						p.decls[obj] = fd
+					}
+				}
+			}
+		}
+	}
+	return p.decls[fn]
+}
+
+// funcKey is the cross-package-stable identity of a function:
+// types.Func.FullName(), e.g. "dcc/internal/runner.DeriveSeed" or
+// "(*dcc/internal/vpt.Cache).Deletable".
+func funcKey(fn *types.Func) string { return fn.FullName() }
+
+// forEachFuncDecl invokes visit for every function declaration of the
+// package (with its *types.Func), in file then declaration order.
+func (p *Pass) forEachFuncDecl(visit func(fn *types.Func, decl *ast.FuncDecl)) {
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			visit(fn, fd)
+		}
+	}
+}
+
+// collectCallEdges records fn's statically resolved callees (including
+// those inside nested function literals) into the fact store.
+func (p *Pass) collectCallEdges(fn *types.Func, decl *ast.FuncDecl) {
+	if decl.Body == nil {
+		return
+	}
+	caller := funcKey(fn)
+	seen := make(map[string]bool)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := p.calleeFunc(call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		key := funcKey(callee)
+		if !seen[key] {
+			seen[key] = true
+			p.Facts.CallEdges[caller] = append(p.Facts.CallEdges[caller], key)
+		}
+		return true
+	})
+}
+
+// enclosingFunc returns the key and display name of the outermost function
+// declaration whose body contains pos ("" if at package scope). Used by
+// streamid to attribute call sites to their Monte-Carlo loop.
+func (p *Pass) enclosingFunc(pos ast.Node) (key, name string) {
+	target := pos.Pos()
+	for _, f := range p.Pkg.Files {
+		if f.FileStart <= target && target < f.FileEnd {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fd.Body.Pos() <= target && target < fd.Body.End() {
+					if fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						return funcKey(fn), fd.Name.Name
+					}
+				}
+			}
+		}
+	}
+	return "", ""
+}

@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"fmt"
+	"go/build"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Golden-corpus harness (analysistest-style, stdlib only): a corpus is a
+// directory holding an src/ tree of mini-packages whose import paths are
+// their src-relative paths — so a corpus can pose as dcc/internal/runner or
+// dcc/internal/graph and exercise analyzers whose rules key off real import
+// paths. Expected findings are written next to the code they anchor to:
+//
+//	rng := rand.New(rand.NewSource(42)) // want `seed .* is a raw literal`
+//
+// Each backquoted or double-quoted string after "want" is a regular
+// expression that must match one diagnostic ("analyzer: message") reported
+// on that line; DiffCorpus returns one problem string per unmatched
+// expectation and per unexpected diagnostic.
+
+// LoadCorpus loads every package under dir/src (the corpus tree), sorted by
+// import path — the same dependency-friendly order Load produces.
+func LoadCorpus(dir string) ([]*Package, error) {
+	src := filepath.Join(dir, "src")
+	ld := newLoader(src, "")
+	ld.corpus = true
+
+	var paths []string
+	err := filepath.WalkDir(src, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if _, err := build.ImportDir(p, 0); err != nil {
+			if _, noGo := err.(*build.NoGoError); noGo {
+				return nil // intermediate directory
+			}
+			return err
+		}
+		rel, err := filepath.Rel(src, p)
+		if err != nil {
+			return err
+		}
+		paths = append(paths, filepath.ToSlash(rel))
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lint: corpus %s: %w", dir, err)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("lint: corpus %s has no packages under src/", dir)
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := ld.loadPath(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// wantExpectation is one parsed // want "..." assertion.
+type wantExpectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantMarker = regexp.MustCompile(`//\s*want\s`)
+
+// collectWants parses the // want expectations of every corpus file.
+func collectWants(pkgs []*Package) ([]*wantExpectation, error) {
+	var wants []*wantExpectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					loc := wantMarker.FindStringIndex(c.Text)
+					if loc == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					rest := strings.TrimSpace(c.Text[loc[1]:])
+					n := 0
+					for rest != "" {
+						q, err := strconv.QuotedPrefix(rest)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: malformed want expectation %q: %v",
+								pos.Filename, pos.Line, rest, err)
+						}
+						pattern, err := strconv.Unquote(q)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: %q: %v", pos.Filename, pos.Line, q, err)
+						}
+						re, err := regexp.Compile(pattern)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v",
+								pos.Filename, pos.Line, pattern, err)
+						}
+						wants = append(wants, &wantExpectation{
+							file: pos.Filename,
+							line: pos.Line,
+							re:   re,
+							raw:  pattern,
+						})
+						n++
+						rest = strings.TrimSpace(rest[len(q):])
+					}
+					if n == 0 {
+						return nil, fmt.Errorf("%s:%d: want comment with no quoted pattern",
+							pos.Filename, pos.Line)
+					}
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// DiffCorpus runs no analysis itself: it reconciles already-produced
+// diagnostics against the corpus's // want expectations and returns one
+// human-readable problem per mismatch (empty means the corpus is golden).
+func DiffCorpus(pkgs []*Package, diags []Diagnostic) ([]string, error) {
+	wants, err := collectWants(pkgs)
+	if err != nil {
+		return nil, err
+	}
+	byLine := make(map[string][]*wantExpectation)
+	key := func(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
+	for _, w := range wants {
+		k := key(w.file, w.line)
+		byLine[k] = append(byLine[k], w)
+	}
+	var problems []string
+	for _, d := range diags {
+		rendered := d.Analyzer + ": " + d.Message
+		matched := false
+		for _, w := range byLine[key(d.Pos.Filename, d.Pos.Line)] {
+			if !w.matched && w.re.MatchString(rendered) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matching %q",
+				w.file, w.line, w.raw))
+		}
+	}
+	return problems, nil
+}

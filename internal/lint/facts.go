@@ -1,0 +1,77 @@
+package lint
+
+import "go/token"
+
+// Facts is the cross-package knowledge store of one Run. Packages are
+// analyzed in import-path order, so a fact exported while analyzing a
+// dependency is visible when its dependents are analyzed — the conservative
+// cross-package half of the value-flow analyses. Whole-module accumulations
+// (stream-id uses, call edges, allocation sites) are consumed by the
+// analyzers' Finish hooks after every package has been visited.
+//
+// Functions are keyed by types.Func.FullName() — e.g.
+// "dcc/internal/runner.DeriveSeed" or
+// "(*dcc/internal/vpt.Cache).Deletable" — which is stable across packages
+// within one Run.
+type Facts struct {
+	// SeedDerivers marks functions whose int64 result provably traces to
+	// runner.DeriveSeed on every return path (wrappers like the public
+	// dcc.DeriveSeed re-export). Calls to them count as derived seeds.
+	// Values: 1 = deriver, -1 = analyzed and not a deriver, 0/absent =
+	// not yet analyzed (the lazy memo of flow.go).
+	SeedDerivers map[string]int
+
+	// StreamForwarders maps wrapper functions that pass one of their own
+	// parameters through as the stream argument of runner.DeriveSeed to
+	// that parameter's index. Calls to a forwarder are stream call sites
+	// and subject to the same named-constant rule.
+	StreamForwarders map[string]int
+
+	// StreamUses records every DeriveSeed stream argument that resolved to
+	// a named constant, for the Finish-time duplicate checks.
+	StreamUses []StreamUse
+
+	// HotRoots lists the //lint:hotpath-annotated functions, the roots of
+	// the hot-path allocation reachability walk.
+	HotRoots []string
+
+	// CallEdges is the approximate module-internal call graph: caller
+	// function key -> statically resolved callee keys (calls through
+	// function values or interfaces are conservatively missed).
+	CallEdges map[string][]string
+
+	// AllocSites records the candidate hot-path allocation findings of
+	// every package, with waivers already resolved; Finish reports the
+	// unwaived ones that fall inside functions reachable from HotRoots.
+	AllocSites []AllocSite
+}
+
+// StreamUse is one DeriveSeed call site whose stream argument is a named
+// constant.
+type StreamUse struct {
+	ConstKey string // package path + "." + constant name
+	Value    uint64
+	FuncKey  string // enclosing (outermost) function
+	FuncName string // rendered name for diagnostics
+	Pos      token.Position
+	Waived   bool
+}
+
+// AllocSite is one allocation expression found in shipped code, a hotalloc
+// finding if its function turns out to be reachable from a hot-path root.
+type AllocSite struct {
+	FuncKey string
+	Kind    string // "make", "new", "composite literal", "map literal", "append"
+	Detail  string
+	Pos     token.Position
+	Waived  bool
+}
+
+// NewFacts returns an empty fact store for one Run.
+func NewFacts() *Facts {
+	return &Facts{
+		SeedDerivers:     make(map[string]int),
+		StreamForwarders: make(map[string]int),
+		CallEdges:        make(map[string][]string),
+	}
+}

@@ -1,19 +1,41 @@
 // Package lint implements dcclint, the repository's determinism & safety
-// static-analysis pass. The simulator's reproducibility guarantee — "a run
-// is reproducible from its Config alone" (internal/dist) — rests on coding
-// conventions: sorted map iteration, seeded *rand.Rand, no wall clock.
-// This package machine-checks those conventions using only the standard
-// library (go/parser, go/ast, go/types with the source importer), so the
-// module stays dependency-free.
+// static-analysis framework. The simulator's reproducibility guarantee — "a
+// run is reproducible from its Config alone" (internal/dist) — rests on
+// coding conventions: sorted map iteration, seeded *rand.Rand, no wall
+// clock, seeds derived through runner.DeriveSeed, emission after the
+// runner.Map barrier, allocation-free deletability hot paths. This package
+// machine-checks those conventions using only the standard library
+// (go/parser, go/ast, go/types with the source importer), so the module
+// stays dependency-free.
+//
+// Beyond the original per-file syntactic checks, the framework provides:
+//
+//   - per-run Facts shared across packages (packages are analyzed in
+//     import-path order, so facts exported by a dependency are visible to
+//     its dependents — conservative cross-package propagation);
+//   - intraprocedural value-flow tracking (flow.go): seed expressions are
+//     traced through assignments, calls and returns within a package;
+//   - an approximate call graph (callgraph.go) for reachability analyses
+//     such as the hot-path allocation check;
+//   - an optional per-analyzer Finish hook that runs after every package
+//     has been visited, for whole-module findings (duplicate stream ids,
+//     hot-path reachability).
 //
 // Findings can be waived per-site with a comment on the flagged line or the
 // line immediately above:
 //
-//	//lint:ordered <reason>            waives maprange (reason required)
-//	//lint:ignore <analyzer> <reason>  waives any analyzer (reason required)
+//	//lint:ordered <reason>              waives maprange (reason required)
+//	//lint:ignore <analyzers> <reason>   waives the named analyzer(s);
+//	                                     comma-separated list, reason required
 //
 // A waiver with an empty reason does not waive anything; dcclint reports
-// the site regardless, so every exception is self-documenting.
+// the site regardless, so every exception is self-documenting. A waiver
+// naming an unknown analyzer is itself reported (analyzer "badwaiver")
+// rather than silently accepted. For hotalloc, a waiver on the function
+// declaration line waives every allocation site in that function.
+//
+// The //lint:hotpath directive (on a function declaration) is not a waiver:
+// it marks the function as a root of the hot-path allocation analysis.
 package lint
 
 import (
@@ -25,10 +47,12 @@ import (
 	"strings"
 )
 
-// DeterministicPkgs lists the packages whose iteration order is part of the
-// reproducibility contract: ranging over a map there is flagged by the
-// maprange analyzer unless the keys are sorted before use or the site
-// carries a //lint:ordered waiver.
+// DeterministicPkgs lists the packages whose iteration order and shared
+// state are part of the reproducibility contract: ranging over a map there
+// is flagged by the maprange analyzer unless the keys are sorted before use
+// or the site carries a //lint:ordered waiver, and calling a
+// pointer-receiver method of one of these packages on a variable captured
+// by a runner.Map task is flagged by the barrier analyzer unless waived.
 var DeterministicPkgs = map[string]bool{
 	"dcc/internal/graph":  true,
 	"dcc/internal/dist":   true,
@@ -38,9 +62,14 @@ var DeterministicPkgs = map[string]bool{
 	"dcc/internal/runner": true,
 }
 
-// simPkgPrefix marks simulation/protocol code: wall-clock reads are banned
-// under it (timing belongs in cmd/ binaries, never in simulation results).
+// simPkgPrefix marks simulation/protocol code: wall-clock reads and
+// underived rand seeds are banned under it (timing belongs in cmd/
+// binaries, seeds come from Config via runner.DeriveSeed).
 const simPkgPrefix = "dcc/internal/"
+
+// runnerPkg is the import path of the deterministic worker pool; seedflow,
+// streamid and barrier all key off its DeriveSeed and Map entry points.
+const runnerPkg = "dcc/internal/runner"
 
 // Diagnostic is one finding, positioned in the analyzed source.
 type Diagnostic struct {
@@ -61,19 +90,23 @@ type Package struct {
 	Files   []*ast.File
 	Types   *types.Package
 	Info    *types.Info
-	waivers map[string]map[int]waiver // filename -> line -> waiver
+	waivers map[string]map[int][]waiver // filename -> line -> waivers
+	decls   map[types.Object]*ast.FuncDecl
 }
 
 // waiver is one parsed //lint: directive.
 type waiver struct {
-	directive string // "ordered" or "ignore"
-	analyzer  string // for "ignore": the analyzer it targets
+	directive string   // "ordered", "ignore" or "hotpath"
+	analyzers []string // for "ignore": the analyzers it targets
 	reason    string
+	pos       token.Position
 }
 
-// collectWaivers parses //lint: comment directives from every file.
+// collectWaivers parses //lint: comment directives from every file. A line
+// may accumulate several waivers (a trailing comment plus one on the line
+// above both apply to the same site).
 func (p *Package) collectWaivers() {
-	p.waivers = make(map[string]map[int]waiver)
+	p.waivers = make(map[string]map[int][]waiver)
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -85,23 +118,41 @@ func (p *Package) collectWaivers() {
 				if len(fields) == 0 {
 					continue
 				}
-				w := waiver{directive: fields[0]}
+				pos := p.Fset.Position(c.Pos())
+				w := waiver{directive: fields[0], pos: pos}
 				rest := fields[1:]
 				if w.directive == "ignore" && len(rest) > 0 {
-					w.analyzer = rest[0]
+					for _, name := range strings.Split(rest[0], ",") {
+						if name = strings.TrimSpace(name); name != "" {
+							w.analyzers = append(w.analyzers, name)
+						}
+					}
 					rest = rest[1:]
 				}
 				w.reason = strings.Join(rest, " ")
-				pos := p.Fset.Position(c.Pos())
 				byLine := p.waivers[pos.Filename]
 				if byLine == nil {
-					byLine = make(map[int]waiver)
+					byLine = make(map[int][]waiver)
 					p.waivers[pos.Filename] = byLine
 				}
-				byLine[pos.Line] = w
+				byLine[pos.Line] = append(byLine[pos.Line], w)
 			}
 		}
 	}
+}
+
+// waiversAt returns every waiver that applies to pos: directives on the
+// same line or the line immediately above.
+func (p *Package) waiversAt(pos token.Pos) []waiver {
+	position := p.Fset.Position(pos)
+	byLine := p.waivers[position.Filename]
+	if byLine == nil {
+		return nil
+	}
+	var ws []waiver
+	ws = append(ws, byLine[position.Line]...)
+	ws = append(ws, byLine[position.Line-1]...)
+	return ws
 }
 
 // waived reports whether a finding of the named analyzer at pos is waived
@@ -110,20 +161,29 @@ func (p *Package) collectWaivers() {
 // "//lint:ignore <analyzer> <reason>" form always applies. Waivers without
 // a reason never waive.
 func (p *Package) waived(analyzer, directive string, pos token.Pos) bool {
-	position := p.Fset.Position(pos)
-	byLine := p.waivers[position.Filename]
-	if byLine == nil {
-		return false
-	}
-	for _, line := range []int{position.Line, position.Line - 1} {
-		w, ok := byLine[line]
-		if !ok || w.reason == "" {
+	for _, w := range p.waiversAt(pos) {
+		if w.reason == "" {
 			continue
 		}
 		if w.directive == directive && directive != "" {
 			return true
 		}
-		if w.directive == "ignore" && w.analyzer == analyzer {
+		if w.directive == "ignore" {
+			for _, a := range w.analyzers {
+				if a == analyzer {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// hotpathRoot reports whether the declaration at pos carries a
+// //lint:hotpath directive (same line or the line above).
+func (p *Package) hotpathRoot(pos token.Pos) bool {
+	for _, w := range p.waiversAt(pos) {
+		if w.directive == "hotpath" {
 			return true
 		}
 	}
@@ -134,6 +194,7 @@ func (p *Package) waived(analyzer, directive string, pos token.Pos) bool {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Facts    *Facts
 	report   func(Diagnostic)
 }
 
@@ -175,11 +236,15 @@ func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
 	return fn
 }
 
-// Analyzer is one named check over a package.
+// Analyzer is one named check over a package. Run is invoked once per
+// package (in import-path order); the optional Finish hook is invoked once
+// after every package has been visited and may report whole-module findings
+// accumulated in Facts.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name   string
+	Doc    string
+	Run    func(*Pass)
+	Finish func(*Facts, func(Diagnostic))
 }
 
 // Analyzers returns the full dcclint suite, in stable order.
@@ -190,21 +255,112 @@ func Analyzers() []*Analyzer {
 		WallClockAnalyzer,
 		DroppedErrAnalyzer,
 		LooseSeedAnalyzer,
+		SeedFlowAnalyzer,
+		StreamIDAnalyzer,
+		BarrierAnalyzer,
+		HotAllocAnalyzer,
 	}
 }
 
-// Run applies every analyzer to every package and returns the findings
-// sorted by position then analyzer name.
+// AnalyzersByName resolves a comma-separated list of analyzer names against
+// the registry, in registry order.
+func AnalyzersByName(names string) ([]*Analyzer, error) {
+	want := make(map[string]bool)
+	for _, n := range strings.Split(names, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			want[n] = true
+		}
+	}
+	var out []*Analyzer
+	for _, a := range Analyzers() {
+		if want[a.Name] {
+			out = append(out, a)
+			delete(want, a.Name)
+		}
+	}
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for n := range want {
+			unknown = append(unknown, n)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("lint: unknown analyzer(s): %s", strings.Join(unknown, ", "))
+	}
+	return out, nil
+}
+
+// validateWaivers reports //lint: directives that cannot take effect:
+// unknown directive names and //lint:ignore targets naming no registered
+// analyzer. Silent typos would otherwise read as active waivers. Validation
+// is against the full registry, not the analyzers of the current run, so a
+// partial run (dcclint -analyzers=...) does not misreport waivers for the
+// disabled checks.
+func validateWaivers(pkg *Package, report func(Diagnostic)) {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	for _, byLine := range pkg.waivers {
+		for _, ws := range byLine {
+			for _, w := range ws {
+				switch w.directive {
+				case "ordered", "hotpath":
+					// Valid, no analyzer list to check.
+				case "ignore":
+					for _, a := range w.analyzers {
+						if !known[a] {
+							report(Diagnostic{
+								Pos:      w.pos,
+								Analyzer: "badwaiver",
+								Message: fmt.Sprintf(
+									"//lint:ignore names unknown analyzer %q; the waiver has no effect", a),
+							})
+						}
+					}
+					if len(w.analyzers) == 0 {
+						report(Diagnostic{
+							Pos:      w.pos,
+							Analyzer: "badwaiver",
+							Message:  "//lint:ignore names no analyzer; the waiver has no effect",
+						})
+					}
+				default:
+					report(Diagnostic{
+						Pos:      w.pos,
+						Analyzer: "badwaiver",
+						Message: fmt.Sprintf(
+							"unknown //lint: directive %q (known: ordered, ignore, hotpath)", w.directive),
+					})
+				}
+			}
+		}
+	}
+}
+
+// Run applies every analyzer to every package (in the order given — Load
+// returns packages sorted by import path, which makes dependency facts
+// visible to dependents), fires each analyzer's Finish hook, validates
+// waiver directives, and returns the findings sorted by position then
+// analyzer name.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	facts := NewFacts()
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
 				Pkg:      pkg,
-				report:   func(d Diagnostic) { diags = append(diags, d) },
+				Facts:    facts,
+				report:   report,
 			}
 			a.Run(pass)
+		}
+		validateWaivers(pkg, report)
+	}
+	for _, a := range analyzers {
+		if a.Finish != nil {
+			a.Finish(facts, report)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

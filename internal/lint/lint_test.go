@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -32,250 +34,215 @@ func expect(t *testing.T, got, want []string) {
 	}
 }
 
-func TestMapRange(t *testing.T) {
-	cases := []struct {
-		name    string
-		pkgPath string
-		src     string
-		want    []string
-	}{
-		{
-			name:    "unsorted range flagged",
-			pkgPath: "dcc/internal/graph",
-			src: `package graph
-
-func Values(m map[int]int) []int {
-	var out []int
-	for _, v := range m {
-		out = append(out, v)
+// TestCorpus runs each analyzer against its golden corpus under
+// testdata/<name>/src and reconciles the diagnostics with the // want
+// expectations written next to the code. The badwaiver corpus runs with no
+// analyzers at all: waiver validation is part of Run itself.
+func TestCorpus(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatalf("no testdata corpus tree: %v", err)
 	}
-	return out
-}
-`,
-			want: []string{
-				"a.go:5:2: maprange: range over map map[int]int in deterministic package dcc/internal/graph: sort the keys before use or add //lint:ordered <reason>",
-			},
-		},
-		{
-			name:    "collect then sort allowed",
-			pkgPath: "dcc/internal/graph",
-			src: `package graph
-
-import "sort"
-
-func Keys(m map[int]string) []int {
-	keys := make([]int, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
-	return keys
-}
-`,
-			want: nil,
-		},
-		{
-			name:    "waiver with reason allowed",
-			pkgPath: "dcc/internal/dist",
-			src: `package dist
-
-func Count(m map[string]bool) int {
-	n := 0
-	//lint:ordered pure count, order-independent
-	for range m {
-		n++
-	}
-	return n
-}
-`,
-			want: nil,
-		},
-		{
-			name:    "waiver without reason still flagged",
-			pkgPath: "dcc/internal/dist",
-			src: `package dist
-
-func Count(m map[string]bool) int {
-	n := 0
-	//lint:ordered
-	for range m {
-		n++
-	}
-	return n
-}
-`,
-			want: []string{
-				"a.go:6:2: maprange: range over map map[string]bool in deterministic package dcc/internal/dist: sort the keys before use or add //lint:ordered <reason>",
-			},
-		},
-		{
-			name:    "non-deterministic package exempt",
-			pkgPath: "dcc/internal/viz",
-			src: `package viz
-
-func Values(m map[int]int) []int {
-	var out []int
-	for _, v := range m {
-		out = append(out, v)
-	}
-	return out
-}
-`,
-			want: nil,
-		},
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			got := runCase(t, tc.pkgPath, map[string]string{"a.go": tc.src}, MapRangeAnalyzer)
-			expect(t, got, tc.want)
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			var analyzers []*Analyzer
+			if name != "badwaiver" {
+				analyzers, err = AnalyzersByName(name)
+				if err != nil {
+					t.Fatalf("corpus dir %q does not name an analyzer: %v", name, err)
+				}
+			}
+			pkgs, err := LoadCorpus(filepath.Join("testdata", name))
+			if err != nil {
+				t.Fatalf("LoadCorpus: %v", err)
+			}
+			wants, err := collectWants(pkgs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(wants) == 0 {
+				t.Fatalf("corpus %q has no // want expectations: it cannot prove the analyzer fires", name)
+			}
+			diags := Run(pkgs, analyzers)
+			problems, err := DiffCorpus(pkgs, diags)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range problems {
+				t.Error(p)
+			}
 		})
 	}
 }
 
-func TestGlobalRand(t *testing.T) {
-	src := `package foo
-
-import "math/rand"
-
-func Bad() int { return rand.Intn(10) }
-
-func AlsoBad() { rand.Shuffle(3, func(i, j int) {}) }
-
-func Good() int {
-	rng := rand.New(rand.NewSource(7))
-	return rng.Intn(10)
-}
-`
-	got := runCase(t, "dcc/internal/foo", map[string]string{"a.go": src}, GlobalRandAnalyzer)
-	expect(t, got, []string{
-		"a.go:5:25: globalrand: package-level math/rand.Intn uses the shared global source; draw from a seeded *rand.Rand",
-		"a.go:7:18: globalrand: package-level math/rand.Shuffle uses the shared global source; draw from a seeded *rand.Rand",
-	})
+// TestCorpusCoversEveryAnalyzer is the no-silently-dead-analyzer gate:
+// every registered analyzer must have a golden corpus, and every corpus
+// asserts at least one finding (checked in TestCorpus).
+func TestCorpusCoversEveryAnalyzer(t *testing.T) {
+	for _, a := range Analyzers() {
+		dir := filepath.Join("testdata", a.Name)
+		info, err := os.Stat(filepath.Join(dir, "src"))
+		if err != nil || !info.IsDir() {
+			t.Errorf("analyzer %s has no golden corpus at %s/src", a.Name, dir)
+		}
+	}
 }
 
-func TestWallClock(t *testing.T) {
-	src := `package sim
-
-import "time"
-
-func Bad() time.Time { return time.Now() }
-
-func Elapsed(t0 time.Time) time.Duration { return time.Since(t0) }
-
-func OK(d time.Duration) time.Duration { return 2 * d }
-`
-	got := runCase(t, "dcc/internal/sim", map[string]string{"a.go": src}, WallClockAnalyzer)
-	expect(t, got, []string{
-		"a.go:5:31: wallclock: time.Now in simulation package dcc/internal/sim: results must not depend on the wall clock",
-		"a.go:7:51: wallclock: time.Since in simulation package dcc/internal/sim: results must not depend on the wall clock",
-	})
-
-	// The same source outside internal/ (a cmd binary) is allowed to time
-	// things.
-	got = runCase(t, "dcc/cmd/tool", map[string]string{"a.go": src}, WallClockAnalyzer)
-	expect(t, got, nil)
+func TestAnalyzersByName(t *testing.T) {
+	got, err := AnalyzersByName("maprange,hotalloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "maprange" || got[1].Name != "hotalloc" {
+		t.Fatalf("AnalyzersByName(maprange,hotalloc) = %v", got)
+	}
+	if _, err := AnalyzersByName("maprange,bogus"); err == nil {
+		t.Fatal("AnalyzersByName accepted unknown analyzer name")
+	}
 }
 
-func TestDroppedErr(t *testing.T) {
-	src := `package foo
+// The waiver grammar's edge cases: reasons are mandatory, placement is
+// same-line or line-above, comma lists fan out, and malformed directives
+// are themselves findings.
+
+const waiverProbe = `package dist
 
 import (
-	"fmt"
 	"os"
-	"strings"
+	"time"
 )
 
-func Bad() {
+func Probe() {
+	os.Remove(time.Now().String())
+}
+`
+
+// TestWaiverEmptyReason: a waiver without a reason waives nothing — every
+// exception must be self-documenting.
+func TestWaiverEmptyReason(t *testing.T) {
+	src := `package dist
+
+import "os"
+
+func Probe() {
+	//lint:ignore droppederr
 	os.Remove("x")
 }
-
-func Deferred(f *os.File) {
-	defer f.Close()
+`
+	got := runCase(t, "dcc/internal/dist", map[string]string{"a.go": src}, DroppedErrAnalyzer)
+	expect(t, got, []string{
+		"a.go:7:2: droppederr: discards error result of os.Remove; handle it or assign to _",
+	})
 }
 
-func OK() {
-	fmt.Println("hi")
-	_ = os.Remove("x")
-	var sb strings.Builder
-	sb.WriteString("hi")
-}
+// TestWaiverPlacement: both the line above and the end of the flagged line
+// are valid waiver positions.
+func TestWaiverPlacement(t *testing.T) {
+	above := `package dist
 
-func Waived() {
+import "os"
+
+func Probe() {
 	//lint:ignore droppederr best-effort cleanup
 	os.Remove("x")
 }
 `
-	got := runCase(t, "dcc/internal/foo", map[string]string{"a.go": src}, DroppedErrAnalyzer)
-	expect(t, got, []string{
-		"a.go:10:2: droppederr: discards error result of os.Remove; handle it or assign to _",
-		"a.go:14:8: droppederr: defer discards error result of Close; handle it or assign to _",
-	})
-}
+	sameLine := `package dist
 
-func TestLooseSeed(t *testing.T) {
-	src := `package foo
+import "os"
 
-import (
-	"math/rand"
-	"time"
-)
-
-func Bad() *rand.Rand {
-	return rand.New(rand.NewSource(time.Now().UnixNano()))
-}
-
-func AlsoBad() {
-	rand.Seed(time.Now().UnixNano())
-}
-
-func Good() *rand.Rand {
-	return rand.New(rand.NewSource(42))
+func Probe() {
+	os.Remove("x") //lint:ignore droppederr best-effort cleanup
 }
 `
-	got := runCase(t, "dcc/internal/foo", map[string]string{"a.go": src}, LooseSeedAnalyzer)
-	expect(t, got, []string{
-		"a.go:9:18: looseseed: rand seed derived from time.Now is different on every run; derive seeds from Config",
-		"a.go:13:2: looseseed: rand seed derived from time.Now is different on every run; derive seeds from Config",
-	})
+	for name, src := range map[string]string{"above": above, "same line": sameLine} {
+		if got := runCase(t, "dcc/internal/dist", map[string]string{"a.go": src}, DroppedErrAnalyzer); len(got) != 0 {
+			t.Errorf("%s waiver did not suppress: %q", name, got)
+		}
+	}
 }
 
-// TestAllAnalyzersFire feeds one deliberately-broken source through the full
-// suite and checks every analyzer reports at least once — the acceptance
-// gate that no analyzer is silently dead.
-func TestAllAnalyzersFire(t *testing.T) {
-	src := `package dist
+// TestWaiverCommaList: one //lint:ignore can waive several analyzers
+// firing on the same line.
+func TestWaiverCommaList(t *testing.T) {
+	// Control: both analyzers fire on the unwaived probe line.
+	got := runCase(t, "dcc/internal/dist", map[string]string{"a.go": waiverProbe},
+		DroppedErrAnalyzer, WallClockAnalyzer)
+	if len(got) != 2 {
+		t.Fatalf("control: got %q, want droppederr and wallclock", got)
+	}
+	waived := `package dist
 
 import (
-	"math/rand"
 	"os"
 	"time"
 )
 
-func Broken(m map[int]int) int {
-	os.Remove("x")
-	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
-	total := rand.Intn(10) + rng.Intn(10)
-	for _, v := range m {
-		total += v
-	}
-	return total
+func Probe() {
+	//lint:ignore droppederr,wallclock timing probe with best-effort cleanup
+	os.Remove(time.Now().String())
 }
 `
-	got := runCase(t, "dcc/internal/dist", map[string]string{"a.go": src}, Analyzers()...)
-	fired := make(map[string]bool)
-	pkg, err := LoadSource("dcc/internal/dist", map[string]string{"a.go": src})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, d := range Run([]*Package{pkg}, Analyzers()) {
-		fired[d.Analyzer] = true
-	}
-	if len(got) == 0 {
-		t.Fatal("no diagnostics at all")
-	}
-	for _, a := range Analyzers() {
-		if !fired[a.Name] {
-			t.Errorf("analyzer %s reported nothing on the broken fixture", a.Name)
-		}
-	}
+	got = runCase(t, "dcc/internal/dist", map[string]string{"a.go": waived},
+		DroppedErrAnalyzer, WallClockAnalyzer)
+	expect(t, got, nil)
+}
+
+// TestWaiverStacked: a line-above waiver and a same-line waiver compose on
+// one flagged line.
+func TestWaiverStacked(t *testing.T) {
+	src := `package dist
+
+import (
+	"os"
+	"time"
+)
+
+func Probe() {
+	//lint:ignore wallclock the probe measures the clock on purpose
+	os.Remove(time.Now().String()) //lint:ignore droppederr best-effort cleanup
+}
+`
+	got := runCase(t, "dcc/internal/dist", map[string]string{"a.go": src},
+		DroppedErrAnalyzer, WallClockAnalyzer)
+	expect(t, got, nil)
+}
+
+// TestWaiverBareIgnore: //lint:ignore with no analyzer list is reported —
+// it cannot be covered by a corpus // want because any token after the
+// directive would parse as an analyzer name.
+func TestWaiverBareIgnore(t *testing.T) {
+	src := `package dist
+
+func Probe() int {
+	//lint:ignore
+	return 1
+}
+`
+	got := runCase(t, "dcc/internal/dist", map[string]string{"a.go": src})
+	expect(t, got, []string{
+		"a.go:4:2: badwaiver: //lint:ignore names no analyzer; the waiver has no effect",
+	})
+}
+
+// TestWaiverUnknownAnalyzerStillWaivesKnown: a comma list naming one real
+// and one unknown analyzer waives the real one and reports the typo.
+func TestWaiverUnknownAnalyzerStillWaivesKnown(t *testing.T) {
+	src := `package dist
+
+import "os"
+
+func Probe() {
+	//lint:ignore droppederr,droppedwrr best-effort cleanup
+	os.Remove("x")
+}
+`
+	got := runCase(t, "dcc/internal/dist", map[string]string{"a.go": src}, DroppedErrAnalyzer)
+	expect(t, got, []string{
+		`a.go:6:2: badwaiver: //lint:ignore names unknown analyzer "droppedwrr"; the waiver has no effect`,
+	})
 }

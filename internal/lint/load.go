@@ -46,8 +46,9 @@ func FindModuleRoot(dir string) (root, modulePath string, err error) {
 // network access are needed.
 type loader struct {
 	fset       *token.FileSet
-	root       string // module root directory
+	root       string // module root directory (or corpus src root)
 	modulePath string
+	corpus     bool // corpus mode: any path with a directory under root is internal
 	std        types.Importer
 	cache      map[string]*Package // keyed by import path
 	loading    map[string]bool     // import-cycle guard
@@ -67,7 +68,7 @@ func newLoader(root, modulePath string) *loader {
 
 // Import implements types.Importer.
 func (ld *loader) Import(path string) (*types.Package, error) {
-	if path == ld.modulePath || strings.HasPrefix(path, ld.modulePath+"/") {
+	if ld.internal(path) {
 		pkg, err := ld.loadPath(path)
 		if err != nil {
 			return nil, err
@@ -77,7 +78,34 @@ func (ld *loader) Import(path string) (*types.Package, error) {
 	return ld.std.Import(path)
 }
 
-// loadPath loads the module package with the given import path.
+// internal reports whether path resolves inside the loaded tree rather than
+// the standard library. In corpus mode any import with a package directory
+// under the corpus src root shadows the real package of the same path —
+// the analysistest trick that lets testdata packages pose as
+// dcc/internal/runner and friends.
+func (ld *loader) internal(path string) bool {
+	if ld.corpus {
+		if fi, err := os.Stat(ld.dirFor(path)); err == nil && fi.IsDir() {
+			return true
+		}
+		return false
+	}
+	return path == ld.modulePath || strings.HasPrefix(path, ld.modulePath+"/")
+}
+
+// dirFor maps an internal import path to its directory.
+func (ld *loader) dirFor(path string) string {
+	if ld.corpus || path != ld.modulePath {
+		rel := path
+		if !ld.corpus {
+			rel = strings.TrimPrefix(path, ld.modulePath+"/")
+		}
+		return filepath.Join(ld.root, filepath.FromSlash(rel))
+	}
+	return ld.root
+}
+
+// loadPath loads the internal package with the given import path.
 func (ld *loader) loadPath(path string) (*Package, error) {
 	if pkg, ok := ld.cache[path]; ok {
 		return pkg, nil
@@ -88,10 +116,7 @@ func (ld *loader) loadPath(path string) (*Package, error) {
 	ld.loading[path] = true
 	defer delete(ld.loading, path)
 
-	dir := ld.root
-	if path != ld.modulePath {
-		dir = filepath.Join(ld.root, filepath.FromSlash(strings.TrimPrefix(path, ld.modulePath+"/")))
-	}
+	dir := ld.dirFor(path)
 	bp, err := build.ImportDir(dir, 0)
 	if err != nil {
 		return nil, fmt.Errorf("lint: %s: %w", path, err)

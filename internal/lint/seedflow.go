@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SeedFlowAnalyzer enforces seed provenance in simulation code: every seed
+// fed to a *rand.Rand source under dcc/internal/ must trace — through the
+// package's assignments, calls and returns — to runner.DeriveSeed (or a
+// wrapper with a SeedDeriver fact), or be an unmodified Config seed field
+// outside a loop. Raw literals and ad-hoc arithmetic (seed+run*31,
+// seed^salt, ...) are flagged everywhere: they bypass the stream discipline
+// that keeps Monte-Carlo runs statistically disjoint. Re-seeding inside a
+// loop body from a loop-invariant source (Config field, literal,
+// arithmetic) is flagged too: every iteration would replay the same stream.
+// Expressions whose provenance cannot be proven (parameters, unclassified
+// calls) stay silent — the analyzer reports only provably bad dataflow.
+var SeedFlowAnalyzer = &Analyzer{
+	Name: "seedflow",
+	Doc:  "seeds in internal/ must trace to runner.DeriveSeed or a Config seed field",
+	Run:  runSeedFlow,
+}
+
+func runSeedFlow(pass *Pass) {
+	inScope := strings.HasPrefix(pass.Pkg.Path, simPkgPrefix)
+
+	pass.forEachFuncDecl(func(fn *types.Func, decl *ast.FuncDecl) {
+		// Export the SeedDeriver fact for every function of the package,
+		// in or out of scope: a wrapper in the root package (dcc.DeriveSeed)
+		// must be recognized when internal packages are out of... — the
+		// root package sorts first, so dependents see the fact either way.
+		pass.isSeedDeriver(fn)
+		if !inScope {
+			return
+		}
+		ff := newFuncFlow(pass, decl)
+		if decl.Body == nil {
+			return
+		}
+		// Manual stack walk: loop nesting is lexical and resets at function
+		// literal boundaries (a closure body is a fresh function, not part
+		// of the enclosing loop).
+		var stack []ast.Node
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkSeedSink(pass, ff, call, inLoop(stack))
+			}
+			return true
+		})
+	})
+}
+
+// inLoop reports whether the innermost enclosing construct below the
+// nearest function literal is a for/range statement.
+func inLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}
+
+// checkSeedSink classifies the seed arguments of rand source constructors
+// and re-seed calls.
+func checkSeedSink(pass *Pass, ff *funcFlow, call *ast.CallExpr, loop bool) {
+	fn := pass.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	pkgPath := fn.Pkg().Path()
+	if pkgPath != "math/rand" && pkgPath != "math/rand/v2" {
+		return
+	}
+	switch fn.Name() {
+	case "NewSource", "NewPCG", "Seed":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		o := ff.originOf(arg, 0)
+		switch o {
+		case originLiteral:
+			pass.Reportf(arg.Pos(), "",
+				"seed for rand.%s is a raw literal; derive it from the Config seed via runner.DeriveSeed", fn.Name())
+		case originArith:
+			pass.Reportf(arg.Pos(), "",
+				"seed for rand.%s is built by ad-hoc arithmetic; use runner.DeriveSeed(base, stream, run) so streams stay disjoint", fn.Name())
+		case originConfig:
+			if loop {
+				pass.Reportf(arg.Pos(), "",
+					"re-seeding from a Config seed field inside a loop replays the same stream every iteration; derive a per-iteration seed via runner.DeriveSeed")
+			}
+		case originDerived:
+			// Blessed.
+		}
+	}
+}

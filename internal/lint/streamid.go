@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// StreamIDAnalyzer audits the DeriveSeed stream-id discipline. Seed streams
+// are only disjoint if every Monte-Carlo loop passes its own named stream
+// constant, so the analyzer (1) requires every stream argument of
+// runner.DeriveSeed — and of wrappers that forward a parameter into it — to
+// resolve to a named constant; (2) collects every such use and, after all
+// packages are visited, flags distinct constants that share a value and
+// single constants used from different functions (two loops drawing from
+// one stream produce correlated runs). A function passing its own parameter
+// through as the stream is recorded as a forwarder — its call sites are
+// checked like DeriveSeed itself — but the pass-through site is still
+// reported unless waived, so every trampoline is deliberate.
+var StreamIDAnalyzer = &Analyzer{
+	Name:   "streamid",
+	Doc:    "DeriveSeed stream arguments must be named, globally disjoint constants",
+	Run:    runStreamID,
+	Finish: finishStreamID,
+}
+
+func runStreamID(pass *Pass) {
+	// First pass: record forwarder facts for this package, so the second
+	// pass (and dependent packages) treats wrappers as stream call sites.
+	pass.forEachFuncDecl(func(fn *types.Func, decl *ast.FuncDecl) {
+		if decl.Body == nil {
+			return
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			arg := streamArgOf(pass, call)
+			if arg == nil {
+				return true
+			}
+			if idx := paramIndexOf(pass, fn, arg); idx >= 0 {
+				pass.Facts.StreamForwarders[funcKey(fn)] = idx
+			}
+			return true
+		})
+	})
+
+	// Second pass: classify every stream argument.
+	pass.forEachFuncDecl(func(fn *types.Func, decl *ast.FuncDecl) {
+		if decl.Body == nil {
+			return
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			arg := streamArgOf(pass, call)
+			if arg == nil {
+				return true
+			}
+			if c := constOf(pass, arg); c != nil {
+				val, _ := constant.Uint64Val(constant.ToInt(c.Val()))
+				key := c.Name()
+				if c.Pkg() != nil {
+					key = c.Pkg().Path() + "." + c.Name()
+				}
+				pass.Facts.StreamUses = append(pass.Facts.StreamUses, StreamUse{
+					ConstKey: key,
+					Value:    val,
+					FuncKey:  funcKey(fn),
+					FuncName: fn.Name(),
+					Pos:      pass.Pkg.Fset.Position(arg.Pos()),
+					Waived:   pass.Pkg.waived(pass.Analyzer.Name, "", arg.Pos()),
+				})
+				return true
+			}
+			if idx := paramIndexOf(pass, fn, arg); idx >= 0 {
+				pass.Reportf(arg.Pos(), "",
+					"stream argument is the function's own parameter; callers of %s are checked in its place — waive if this forwarder is deliberate", fn.Name())
+				return true
+			}
+			pass.Reportf(arg.Pos(), "",
+				"stream argument must be a named stream constant, not %s", describeExpr(arg))
+			return true
+		})
+	})
+}
+
+// streamArgOf returns the stream argument expression of call if call
+// invokes runner.DeriveSeed or a recorded forwarder (nil otherwise).
+func streamArgOf(pass *Pass, call *ast.CallExpr) ast.Expr {
+	fn := pass.calleeFunc(call)
+	if fn == nil {
+		return nil
+	}
+	idx := -1
+	if isDeriveSeedFunc(fn) {
+		idx = 1
+	} else if i, ok := pass.Facts.StreamForwarders[funcKey(fn)]; ok {
+		idx = i
+	}
+	if idx < 0 || idx >= len(call.Args) {
+		return nil
+	}
+	return ast.Unparen(call.Args[idx])
+}
+
+// constOf resolves expr to the named constant it denotes, through a plain
+// identifier or a package selector (nil otherwise).
+func constOf(pass *Pass, expr ast.Expr) *types.Const {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	c, _ := pass.ObjectOf(id).(*types.Const)
+	return c
+}
+
+// paramIndexOf returns the index of expr among fn's parameters, or -1.
+func paramIndexOf(pass *Pass, fn *types.Func, expr ast.Expr) int {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return -1
+	}
+	obj := pass.ObjectOf(id)
+	if obj == nil {
+		return -1
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return -1
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == obj {
+			return i
+		}
+	}
+	return -1
+}
+
+func describeExpr(e ast.Expr) string {
+	switch e.(type) {
+	case *ast.BasicLit:
+		return "a literal"
+	case *ast.BinaryExpr:
+		return "an arithmetic expression"
+	case *ast.CallExpr:
+		return "a call result"
+	default:
+		return "a computed value"
+	}
+}
+
+// finishStreamID runs the whole-module duplicate checks over the collected
+// stream uses.
+func finishStreamID(facts *Facts, report func(Diagnostic)) {
+	// Distinct constants sharing a value: streams collide outright.
+	byValue := make(map[uint64][]StreamUse)
+	for _, u := range facts.StreamUses {
+		byValue[u.Value] = append(byValue[u.Value], u)
+	}
+	for _, uses := range byValue {
+		consts := make(map[string]bool)
+		for _, u := range uses {
+			consts[u.ConstKey] = true
+		}
+		if len(consts) < 2 {
+			continue
+		}
+		reported := make(map[string]bool)
+		for _, u := range uses {
+			if u.Waived || reported[u.ConstKey] {
+				continue
+			}
+			reported[u.ConstKey] = true
+			others := make([]string, 0, len(consts)-1)
+			for c := range consts {
+				if c != u.ConstKey {
+					others = append(others, c)
+				}
+			}
+			sort.Strings(others)
+			report(Diagnostic{
+				Pos:      u.Pos,
+				Analyzer: "streamid",
+				Message: fmt.Sprintf("stream constant %s (= %d) has the same value as %s; stream ids must be globally unique",
+					u.ConstKey, u.Value, strings.Join(others, ", ")),
+			})
+		}
+	}
+
+	// One constant drawn from several functions: two Monte-Carlo loops
+	// sharing a stream produce correlated runs.
+	byConst := make(map[string]map[string]bool)
+	for _, u := range facts.StreamUses {
+		funcs := byConst[u.ConstKey]
+		if funcs == nil {
+			funcs = make(map[string]bool)
+			byConst[u.ConstKey] = funcs
+		}
+		funcs[u.FuncKey] = true
+	}
+	for constKey, funcs := range byConst {
+		if len(funcs) < 2 {
+			continue
+		}
+		names := make([]string, 0, len(funcs))
+		for f := range funcs {
+			names = append(names, f)
+		}
+		sort.Strings(names)
+		reported := make(map[string]bool)
+		for _, u := range facts.StreamUses {
+			if u.ConstKey != constKey || u.Waived || reported[u.FuncKey] {
+				continue
+			}
+			reported[u.FuncKey] = true
+			report(Diagnostic{
+				Pos:      u.Pos,
+				Analyzer: "streamid",
+				Message: fmt.Sprintf("stream constant %s is used by %d functions (%s); each Monte-Carlo loop needs its own stream",
+					constKey, len(funcs), strings.Join(names, ", ")),
+			})
+		}
+	}
+}

@@ -1,0 +1,22 @@
+// Package bwtest exercises waiver validation: directives that cannot take
+// effect are reported instead of silently reading as active waivers.
+package bwtest
+
+// Mistyped directive name: reported, not ignored.
+func Mistyped() int {
+	//lint:nonsense this directive does not exist // want `directive "nonsense" \(known: ordered, ignore, hotpath\)`
+	return 1
+}
+
+// WrongAnalyzer waives a check that is not registered: the typo would
+// otherwise read as an active waiver.
+func WrongAnalyzer() int {
+	//lint:ignore notachk reason for a check that does not exist // want `names unknown analyzer "notachk"; the waiver has no effect`
+	return 2
+}
+
+// Valid is a well-formed waiver naming a real analyzer: nothing to report.
+func Valid() int {
+	//lint:ignore hotalloc deliberate, documented exception
+	return 3
+}

@@ -1,0 +1,102 @@
+// Package btest exercises the runner.Map task-closure hygiene: tasks
+// communicate only through their return value; everything observable
+// happens after the barrier.
+package btest
+
+import (
+	"fmt"
+	"strings"
+
+	"dcc/internal/runner"
+	"dcc/internal/vpt"
+)
+
+// OwnSlot writes a captured slice at exactly the task's own index: the
+// one blessed captured write.
+func OwnSlot(n int) []int {
+	extra := make([]int, n)
+	_, _ = runner.Map(n, 4, func(i int) (int, error) {
+		extra[i] = i * i
+		return i, nil
+	})
+	return extra
+}
+
+// ForeignSlot writes another task's slot: order-dependent clobbering.
+func ForeignSlot(n int) []int {
+	acc := make([]int, n)
+	_, _ = runner.Map(n, 4, func(i int) (int, error) {
+		acc[0] = i // want `task closure writes to captured "acc" at an index other than the task's own`
+		return i, nil
+	})
+	return acc
+}
+
+// SharedCounter accumulates into a captured scalar: a data race.
+func SharedCounter(n int) int {
+	total := 0
+	_, _ = runner.Map(n, 4, func(i int) (int, error) {
+		total += i // want `task closure writes to captured "total" before the barrier`
+		return i, nil
+	})
+	return total
+}
+
+// PrintsEarly emits output from inside a task: interleaves across workers.
+func PrintsEarly(n int) {
+	_, _ = runner.Map(n, 4, func(i int) (int, error) {
+		fmt.Println(i) // want `task closure calls fmt.Println before the barrier`
+		return i, nil
+	})
+}
+
+// WritesBuilder streams into a captured writer from inside a task.
+func WritesBuilder(n int) string {
+	var sb strings.Builder
+	_, _ = runner.Map(n, 4, func(i int) (int, error) {
+		sb.WriteString("x") // want `task closure calls sb.WriteString before the barrier`
+		return i, nil
+	})
+	return sb.String()
+}
+
+// MutatesEngine calls a pointer-receiver method of a deterministic
+// package on captured state.
+func MutatesEngine(n int, c *vpt.Cache) {
+	_, _ = runner.Map(n, 4, func(i int) (int, error) {
+		c.Bump() // want `task closure calls pointer-receiver method \(\*dcc/internal/vpt\.Cache\)\.Bump on captured "c"`
+		return i, nil
+	})
+}
+
+// ReadsEngine calls a value-receiver method on captured state: reads are
+// fine.
+func ReadsEngine(n int, c *vpt.Cache) ([]int, error) {
+	return runner.Map(n, 4, func(i int) (int, error) {
+		return i + c.Peek(), nil
+	})
+}
+
+// TaskLocal mutates state declared inside the closure: provably private.
+func TaskLocal(n int) ([]int, error) {
+	return runner.Map(n, 4, func(i int) (int, error) {
+		var sb strings.Builder
+		sum := 0
+		for j := 0; j < i; j++ {
+			sum += j
+			sb.WriteString("y")
+		}
+		return sum + len(sb.String()), nil
+	})
+}
+
+// WaivedWrite documents a deliberate captured write.
+func WaivedWrite(n int) int {
+	hits := 0
+	_, _ = runner.Map(n, 1, func(i int) (int, error) {
+		//lint:ignore barrier single-worker pool by construction, no race
+		hits++
+		return i, nil
+	})
+	return hits
+}

@@ -1,0 +1,17 @@
+// Package runner poses as the real dcc/internal/runner for the corpus:
+// only the Map signature matters to the barrier analyzer.
+package runner
+
+// Map mimics the real deterministic fan-out: results land at the task's
+// own index, the join is the barrier.
+func Map[T any](n, workers int, job func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	for i := 0; i < n; i++ {
+		v, err := job(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

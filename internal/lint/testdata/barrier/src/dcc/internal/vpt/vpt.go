@@ -1,0 +1,19 @@
+// Package vpt poses as the real dcc/internal/vpt for the corpus: a
+// deterministic-engine type with one mutating and one read-only method.
+package vpt
+
+// Cache mimics the real deletability cache: pointer methods mutate
+// shared memo state.
+type Cache struct {
+	n int
+}
+
+// Bump mutates the cache (pointer receiver).
+func (c *Cache) Bump() {
+	c.n++
+}
+
+// Peek reads the cache (value receiver).
+func (c Cache) Peek() int {
+	return c.n
+}

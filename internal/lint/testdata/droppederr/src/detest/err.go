@@ -1,0 +1,33 @@
+// Package detest exercises the dropped-error check: error results may not
+// vanish silently in statement position or behind defer.
+package detest
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Bad discards the error of os.Remove.
+func Bad() {
+	os.Remove("x") // want `discards error result of os.Remove`
+}
+
+// Deferred drops the error behind defer.
+func Deferred(f *os.File) {
+	defer f.Close() // want `defer discards error result of Close`
+}
+
+// OK handles, blanks, or calls never-failing writers.
+func OK() {
+	fmt.Println("hi")
+	_ = os.Remove("x")
+	var sb strings.Builder
+	sb.WriteString("hi")
+}
+
+// Waived documents a best-effort call.
+func Waived() {
+	//lint:ignore droppederr best-effort cleanup
+	os.Remove("x")
+}

@@ -1,0 +1,31 @@
+// Package grtest exercises the global-rand ban: package-level math/rand
+// draws are flagged everywhere, seeded generators are fine.
+package grtest
+
+import "math/rand"
+
+// Bad draws from the shared global source.
+func Bad() int {
+	return rand.Intn(10) // want `package-level math/rand.Intn uses the shared global source`
+}
+
+// AlsoBad shuffles with the global source.
+func AlsoBad() {
+	rand.Shuffle(3, func(i, j int) {}) // want `package-level math/rand.Shuffle uses the shared global source`
+}
+
+// Good threads an explicit generator.
+func Good(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+// Ctor uses the constructors, which are allowed at package level.
+func Ctor() *rand.Rand {
+	return rand.New(rand.NewSource(7))
+}
+
+// Waived keeps a deliberate global draw with a written reason.
+func Waived() int {
+	//lint:ignore globalrand corpus example of a documented exception
+	return rand.Intn(10)
+}

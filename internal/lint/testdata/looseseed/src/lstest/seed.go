@@ -1,0 +1,23 @@
+// Package lstest exercises the loose-seed check: rand sources seeded from
+// the wall clock or process state differ on every run.
+package lstest
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad seeds from the wall clock.
+func Bad() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand seed derived from time.Now is different on every run`
+}
+
+// AlsoBad reseeds the global source from the wall clock.
+func AlsoBad() {
+	rand.Seed(time.Now().UnixNano()) // want `rand seed derived from time.Now is different on every run`
+}
+
+// Good uses a fixed seed.
+func Good() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}

@@ -1,0 +1,53 @@
+// Package graph poses as the real deterministic package of the same import
+// path: map iteration order here is part of the reproducibility contract.
+package graph
+
+import "sort"
+
+// Values ranges a map without sorting anything.
+func Values(m map[int]int) []int {
+	var out []int
+	for _, v := range m { // want `range over map map\[int\]int in deterministic package dcc/internal/graph`
+		out = append(out, v)
+	}
+	return out
+}
+
+// Keys collects then sorts: the blessed pattern.
+func Keys(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// CountAbove carries a same-line waiver with a reason.
+func CountAbove(m map[string]bool) int {
+	n := 0
+	//lint:ordered pure count, order-independent
+	for range m {
+		n++
+	}
+	return n
+}
+
+// CountInline carries the waiver as a trailing comment on the range line.
+func CountInline(m map[string]bool) int {
+	n := 0
+	for range m { //lint:ordered pure count, order-independent
+		n++
+	}
+	return n
+}
+
+// CountBare has a waiver with no reason: it does not waive.
+func CountBare(m map[string]bool) int {
+	n := 0
+	//lint:ordered
+	for range m { // want `range over map map\[string\]bool in deterministic package dcc/internal/graph`
+		n++
+	}
+	return n
+}

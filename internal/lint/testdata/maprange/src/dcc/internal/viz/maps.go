@@ -1,0 +1,11 @@
+// Package viz is not a deterministic package: map ranges are allowed.
+package viz
+
+// Values may range freely here.
+func Values(m map[int]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+// Package sftest exercises the seed-provenance dataflow: under
+// dcc/internal/ every rand seed must trace to runner.DeriveSeed or an
+// unmodified Config seed field.
+package sftest
+
+import (
+	"math/rand"
+
+	"dcc/internal/runner"
+)
+
+const streamShuffle uint64 = 1
+
+// Config carries the base seed, the only legitimate seed origin.
+type Config struct {
+	Seed int64
+}
+
+// Literal bypasses Config entirely.
+func Literal() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `seed for rand.NewSource is a raw literal`
+}
+
+// Arith reintroduces the seed+run*31 bug class the stream discipline
+// exists to prevent: runs overlap statistically.
+func Arith(cfg Config, run int) *rand.Rand {
+	seed := cfg.Seed + int64(run)*31
+	return rand.New(rand.NewSource(seed)) // want `seed for rand.NewSource is built by ad-hoc arithmetic`
+}
+
+// ArithInline is the same bug without the intermediate variable.
+func ArithInline(cfg Config, run int) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed ^ int64(run))) // want `seed for rand.NewSource is built by ad-hoc arithmetic`
+}
+
+// Derived is the blessed form.
+func Derived(cfg Config, run int) *rand.Rand {
+	return rand.New(rand.NewSource(runner.DeriveSeed(cfg.Seed, streamShuffle, run)))
+}
+
+// Wrapper forwards to DeriveSeed on every return path, so callers of it
+// count as derived (the SeedDeriver fact).
+func Wrapper(cfg Config, run int) int64 {
+	return runner.DeriveSeed(cfg.Seed, streamShuffle, run)
+}
+
+// ViaWrapper seeds through the wrapper: clean.
+func ViaWrapper(cfg Config, run int) *rand.Rand {
+	return rand.New(rand.NewSource(Wrapper(cfg, run)))
+}
+
+// LoopReseed replays the identical stream every iteration.
+func LoopReseed(cfg Config, runs int) int {
+	total := 0
+	for run := 0; run < runs; run++ {
+		rng := rand.New(rand.NewSource(cfg.Seed)) // want `re-seeding from a Config seed field inside a loop`
+		total += rng.Intn(10) + run
+	}
+	return total
+}
+
+// LoopDerived derives a fresh per-iteration seed: clean.
+func LoopDerived(cfg Config, runs int) int {
+	total := 0
+	for run := 0; run < runs; run++ {
+		rng := rand.New(rand.NewSource(runner.DeriveSeed(cfg.Seed, streamShuffle, run)))
+		total += rng.Intn(10)
+	}
+	return total
+}
+
+// ClosureNotLoop shows the loop check stops at function-literal
+// boundaries: the closure body is a fresh function.
+func ClosureNotLoop(cfg Config, runs int) []func() *rand.Rand {
+	var out []func() *rand.Rand
+	for run := 0; run < runs; run++ {
+		out = append(out, func() *rand.Rand {
+			return rand.New(rand.NewSource(cfg.Seed))
+		})
+		_ = run
+	}
+	return out
+}
+
+// Unknown takes an opaque parameter: not provable, stays silent.
+func Unknown(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Waived keeps a fixed algorithmic seed with a written reason.
+func Waived() *rand.Rand {
+	//lint:ignore seedflow fixed shuffle order is algorithmic, not an experiment input
+	return rand.New(rand.NewSource(1))
+}

@@ -1,0 +1,8 @@
+// Package runner poses as the real dcc/internal/runner for the corpus:
+// only the DeriveSeed signature matters to the streamid analyzer.
+package runner
+
+// DeriveSeed mimics the real chained-SplitMix64 derivation.
+func DeriveSeed(base int64, stream uint64, run int) int64 {
+	return base ^ int64(stream)<<1 ^ int64(run)<<2
+}

@@ -1,0 +1,66 @@
+// Package sidtest exercises the stream-id discipline: DeriveSeed stream
+// arguments must be named constants, globally unique by value, and each
+// Monte-Carlo loop must own its stream.
+package sidtest
+
+import "dcc/internal/runner"
+
+const (
+	streamAlpha  uint64 = 1
+	streamBeta   uint64 = 2
+	streamDup    uint64 = 2 // collides with streamBeta
+	streamShared uint64 = 3
+)
+
+// UseAlpha is the clean case: one named constant, one function.
+func UseAlpha(seed int64, run int) int64 {
+	return runner.DeriveSeed(seed, streamAlpha, run)
+}
+
+// UseBeta draws from a stream whose value another constant duplicates.
+func UseBeta(seed int64, run int) int64 {
+	return runner.DeriveSeed(seed, streamBeta, run) // want `streamBeta \(= 2\) has the same value as dcc/internal/sidtest.streamDup`
+}
+
+// UseDup is the other half of the collision.
+func UseDup(seed int64, run int) int64 {
+	return runner.DeriveSeed(seed, streamDup, run) // want `streamDup \(= 2\) has the same value as dcc/internal/sidtest.streamBeta`
+}
+
+// SharedOne and SharedTwo draw from one stream in two different loops:
+// their runs are correlated.
+func SharedOne(seed int64) int64 {
+	return runner.DeriveSeed(seed, streamShared, 0) // want `streamShared is used by 2 functions`
+}
+
+// SharedTwo is the second loop on the shared stream.
+func SharedTwo(seed int64) int64 {
+	return runner.DeriveSeed(seed, streamShared, 1) // want `streamShared is used by 2 functions`
+}
+
+// Literal passes a bare number where a named constant belongs.
+func Literal(seed int64) int64 {
+	return runner.DeriveSeed(seed, 99, 0) // want `stream argument must be a named stream constant, not a literal`
+}
+
+// Computed passes an expression where a named constant belongs.
+func Computed(seed int64, n uint64) int64 {
+	return runner.DeriveSeed(seed, n+1, 0) // want `stream argument must be a named stream constant, not an arithmetic expression`
+}
+
+// Forward passes its own parameter through: a trampoline. The site is
+// reported (unless waived) and callers are checked via the forwarder fact.
+func Forward(seed int64, stream uint64, run int) int64 {
+	return runner.DeriveSeed(seed, stream, run) // want `stream argument is the function's own parameter`
+}
+
+// ViaForward hits the forwarder with a literal: checked like DeriveSeed.
+func ViaForward(seed int64, run int) int64 {
+	return Forward(seed, 7, run) // want `stream argument must be a named stream constant, not a literal`
+}
+
+// WaivedForward is a documented trampoline: the pass-through is waived.
+func WaivedForward(seed int64, stream uint64, run int) int64 {
+	//lint:ignore streamid deliberate public shim, callers pick the constant
+	return runner.DeriveSeed(seed, stream, run)
+}

@@ -1,0 +1,11 @@
+// Package tool sits outside dcc/internal/: cmd binaries are allowed to
+// time things around the deterministic core.
+package tool
+
+import "time"
+
+// Timed may read the wall clock here.
+func Timed() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}

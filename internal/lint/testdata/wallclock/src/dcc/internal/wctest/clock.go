@@ -1,0 +1,20 @@
+// Package wctest sits under dcc/internal/, where wall-clock reads are
+// banned: simulation results must not depend on when the run happened.
+package wctest
+
+import "time"
+
+// Bad reads the wall clock.
+func Bad() time.Time {
+	return time.Now() // want `time.Now in simulation package dcc/internal/wctest`
+}
+
+// Elapsed depends on the wall clock through Since.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since in simulation package dcc/internal/wctest`
+}
+
+// OK manipulates durations without reading the clock.
+func OK(d time.Duration) time.Duration {
+	return 2 * d
+}

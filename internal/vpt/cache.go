@@ -15,6 +15,9 @@ import (
 // its own.
 type Tester struct {
 	ws *cycles.Workspace
+	// direct is the reusable filtered direct-neighbour buffer of the
+	// void-confinement check.
+	direct []graph.NodeID
 }
 
 // NewTester returns an empty Tester.
@@ -30,7 +33,9 @@ func (t *Tester) NeighborhoodDeletable(neighborhood *graph.Graph, directNeighbor
 	if !neighborhood.IsConnected() {
 		return false
 	}
-	if !voidConfined(neighborhood, directNeighbors, tau) {
+	ok, buf := voidConfinedBuf(neighborhood, directNeighbors, tau, t.direct)
+	t.direct = buf
+	if !ok {
 		return false
 	}
 	return cycles.SpannedByShortWS(neighborhood, tau, t.ws)
@@ -129,6 +134,8 @@ func (c *Cache) Stats() CacheStats { return c.stats }
 // cached verdict is returned as-is (the dirty-radius invariant guarantees
 // it equals fresh recomputation), a stale one is recomputed with the
 // cache-owned scratch. Dead or absent vertices are never deletable.
+//
+//lint:hotpath
 func (c *Cache) Deletable(v graph.NodeID) bool {
 	i, ok := c.g.IndexOf(v)
 	if !ok || !c.view.Alive(v) {
@@ -146,6 +153,8 @@ func (c *Cache) Deletable(v graph.NodeID) bool {
 // without reading or writing the memo — the form concurrent workers use to
 // batch cache-miss work (publish with Store once the batch joins). s and t
 // must not be shared between concurrent callers.
+//
+//lint:hotpath
 func (c *Cache) ComputeFresh(v graph.NodeID, s *graph.Scratch, t *Tester) bool {
 	if !c.view.Alive(v) {
 		return false

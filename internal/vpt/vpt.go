@@ -82,10 +82,21 @@ func NeighborhoodDeletable(neighborhood *graph.Graph, directNeighbors []graph.No
 // ≤ tau: some pair of its direct neighbours is connected within the
 // neighbourhood graph (candidate excluded) by a path of ≤ tau−2 hops.
 func voidConfined(neighborhood *graph.Graph, directNeighbors []graph.NodeID, tau int) bool {
+	ok, _ := voidConfinedBuf(neighborhood, directNeighbors, tau, nil)
+	return ok
+}
+
+// voidConfinedBuf is voidConfined with caller-provided storage for the
+// filtered direct-neighbour set: hot callers (Tester) pass their reusable
+// buffer, the cold package-level path passes nil. The possibly regrown
+// buffer is returned for the caller to keep.
+//
+//lint:ignore hotalloc appends target the caller-owned reusable buffer (nil only on the cold package-level path); growth is bounded by the direct degree and amortized by the Tester
+func voidConfinedBuf(neighborhood *graph.Graph, directNeighbors []graph.NodeID, tau int, buf []graph.NodeID) (bool, []graph.NodeID) {
+	direct := buf[:0]
 	if len(directNeighbors) < 2 {
-		return false
+		return false, direct
 	}
-	direct := make([]graph.NodeID, 0, len(directNeighbors))
 	for _, n := range directNeighbors {
 		if neighborhood.HasNode(n) {
 			direct = append(direct, n)
@@ -93,17 +104,17 @@ func voidConfined(neighborhood *graph.Graph, directNeighbors []graph.NodeID, tau
 	}
 	sort.Slice(direct, func(i, j int) bool { return direct[i] < direct[j] })
 	if len(direct) < 2 {
-		return false
+		return false, direct
 	}
 	for _, n := range direct {
 		t := neighborhood.BFS(n, tau-2)
 		for _, m := range direct {
 			if m != n && t.Depth(m) >= 0 {
-				return true
+				return true, direct
 			}
 		}
 	}
-	return false
+	return false, direct
 }
 
 // EdgeDeletable reports whether the edge {u,v} may be deleted from g under

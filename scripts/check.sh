@@ -7,6 +7,9 @@
 set -e
 cd "$(dirname "$0")/.."
 
+# Per-target fuzz budget; CI trims it (see .github/workflows/check.yml).
+FUZZTIME="${FUZZTIME:-5s}"
+
 echo '== gofmt'
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
@@ -47,10 +50,10 @@ echo '== chaos smoke (race + deep assertions)'
 # plain gate above covers. -short trims the matrix to a smoke-sized slice.
 go test -short -race -tags dccdebug -run '^TestChaosMatrix$' ./internal/dist
 
-echo '== fuzz smoke'
-go test -run=NONE -fuzz='^FuzzVectorXOR$' -fuzztime=5s ./internal/bitvec
-go test -run=NONE -fuzz='^FuzzRank$' -fuzztime=5s ./internal/bitvec
-go test -run=NONE -fuzz='^FuzzFrameRoundTrip$' -fuzztime=5s ./internal/dist
-go test -run=NONE -fuzz='^FuzzCacheConsistency$' -fuzztime=5s ./internal/vpt
+echo "== fuzz smoke (${FUZZTIME} per target)"
+go test -run=NONE -fuzz='^FuzzVectorXOR$' -fuzztime="$FUZZTIME" ./internal/bitvec
+go test -run=NONE -fuzz='^FuzzRank$' -fuzztime="$FUZZTIME" ./internal/bitvec
+go test -run=NONE -fuzz='^FuzzFrameRoundTrip$' -fuzztime="$FUZZTIME" ./internal/dist
+go test -run=NONE -fuzz='^FuzzCacheConsistency$' -fuzztime="$FUZZTIME" ./internal/vpt
 
 echo 'check.sh: all gates passed'
