@@ -31,7 +31,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dccsim", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "all", "figure to regenerate: 1..7, 'engines', 'loss', 'reliability', 'rotation', comma-separated, or 'all'")
+		fig     = fs.String("fig", "all", "figure to regenerate: 1..7, 'engines', 'loss', 'reliability', 'rotation', 'scenarios', 'stability', comma-separated, or 'all'")
 		seed    = fs.Int64("seed", 1, "random seed")
 		runs    = fs.Int("runs", 0, "random repetitions (0 = preset default)")
 		nodes   = fs.Int("nodes", 0, "deployment size (0 = preset default)")
@@ -77,6 +77,8 @@ func run(args []string) error {
 		{"reliability", func() error { _, err := experiments.AblationReliability(w, cfg); return err }},
 		{"rotation", func() error { _, err := experiments.AblationRotation(w, cfg); return err }},
 		{"quasiudg", func() error { _, err := experiments.AblationQuasiUDG(w, cfg); return err }},
+		{"scenarios", func() error { _, err := experiments.ScenarioOracles(w, cfg); return err }},
+		{"stability", func() error { _, err := experiments.ScenarioStability(w, cfg); return err }},
 	}
 	ran := 0
 	for _, r := range runners {

@@ -5,6 +5,7 @@ import (
 	"log"
 
 	"dcc"
+	"dcc/internal/scenario"
 )
 
 // ExamplePlanTau shows how the confine size is planned from a coverage
@@ -56,4 +57,32 @@ func ExampleDeployment_ScheduleDCC() {
 	// Output:
 	// some nodes deleted: true
 	// criterion holds: true
+}
+
+// ExampleScenario shows the ground-truth catalogue (DESIGN.md §12): a
+// generated lattice carries a closed-form oracle, and the pipeline is
+// asserted against it instead of against its own history.
+func ExampleScenario() {
+	// A 6×6 unit square lattice with diagonal links (rc = 1.5·s) and
+	// sensing radius 0.9 > s/√2 — the oracle knows it is 3-confinable and
+	// blanket-covered before anything runs.
+	sc, err := scenario.SquareLattice("example/square", 6, 6, 1.0, 1.5, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("oracle τ:", sc.Oracle.AchievableTau)
+	fmt.Println("oracle covered:", sc.Oracle.Covered)
+
+	// The pipeline must agree on both counts.
+	tau, err := sc.Dep.AchievableTau(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("measured τ:", tau)
+	fmt.Println("measured covered:", sc.Coverage(nil).FullyCovered())
+	// Output:
+	// oracle τ: 3
+	// oracle covered: true
+	// measured τ: 3
+	// measured covered: true
 }

@@ -56,8 +56,22 @@ func (r Report) MaxHoleDiameter() float64 {
 // diagonal in hole diameters; callers comparing against analytic bounds
 // should allow that slack.
 func Analyze(active []geom.Point, rs float64, target geom.Rect, resolution float64) Report {
+	radii := make([]float64, len(active))
+	for i := range radii {
+		radii[i] = rs
+	}
+	return AnalyzeRadii(active, radii, target, resolution)
+}
+
+// AnalyzeRadii is Analyze for heterogeneous sensing: radii[i] is the
+// sensing radius of active[i]. The spatial hash is keyed at the maximum
+// radius so the 3×3 neighbourhood query stays sufficient for every disk.
+func AnalyzeRadii(active []geom.Point, radii []float64, target geom.Rect, resolution float64) Report {
 	if resolution <= 0 {
 		panic("cover: non-positive resolution")
+	}
+	if len(radii) != len(active) {
+		panic("cover: radii/active length mismatch")
 	}
 	cols := int(math.Ceil(target.Width() / resolution))
 	rows := int(math.Ceil(target.Height() / resolution))
@@ -65,24 +79,40 @@ func Analyze(active []geom.Point, rs float64, target geom.Rect, resolution float
 		return Report{Resolution: resolution, CoveredFraction: 1}
 	}
 
-	// Spatial hash of active sensors at cell size rs for O(1) disk queries.
+	maxR := 0.0
+	for _, r := range radii {
+		if r > maxR {
+			maxR = r
+		}
+	}
+
+	// Spatial hash of active sensors at cell size maxR for O(1) disk
+	// queries: a disk of radius ≤ maxR centred anywhere in a cell only
+	// reaches the 3×3 neighbourhood of that cell.
+	type sensor struct {
+		p geom.Point
+		r float64
+	}
 	type cellKey struct{ x, y int }
-	idx := make(map[cellKey][]geom.Point)
-	if rs > 0 {
-		for _, p := range active {
-			k := cellKey{x: int(math.Floor(p.X / rs)), y: int(math.Floor(p.Y / rs))}
-			idx[k] = append(idx[k], p)
+	idx := make(map[cellKey][]sensor)
+	if maxR > 0 {
+		for i, p := range active {
+			if radii[i] <= 0 {
+				continue
+			}
+			k := cellKey{x: int(math.Floor(p.X / maxR)), y: int(math.Floor(p.Y / maxR))}
+			idx[k] = append(idx[k], sensor{p: p, r: radii[i]})
 		}
 	}
 	coveredAt := func(p geom.Point) bool {
-		if rs <= 0 {
+		if maxR <= 0 {
 			return false
 		}
-		cx, cy := int(math.Floor(p.X/rs)), int(math.Floor(p.Y/rs))
+		cx, cy := int(math.Floor(p.X/maxR)), int(math.Floor(p.Y/maxR))
 		for dx := -1; dx <= 1; dx++ {
 			for dy := -1; dy <= 1; dy++ {
-				for _, q := range idx[cellKey{x: cx + dx, y: cy + dy}] {
-					if geom.Dist(p, q) <= rs {
+				for _, s := range idx[cellKey{x: cx + dx, y: cy + dy}] {
+					if geom.Dist(p, s.p) <= s.r {
 						return true
 					}
 				}

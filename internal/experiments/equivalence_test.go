@@ -44,6 +44,8 @@ func equivCases() []struct {
 		{"AblationReliability", ablCfg, func(w io.Writer, cfg Config) (any, error) { return AblationReliability(w, cfg) }},
 		{"AblationQuasiUDG", ablCfg, func(w io.Writer, cfg Config) (any, error) { return AblationQuasiUDG(w, cfg) }},
 		{"AblationRotation", ablCfg, func(w io.Writer, cfg Config) (any, error) { return AblationRotation(w, cfg) }},
+		{"ScenarioOracles", figCfg, func(w io.Writer, cfg Config) (any, error) { return ScenarioOracles(w, cfg) }},
+		{"ScenarioStability", figCfg, func(w io.Writer, cfg Config) (any, error) { return ScenarioStability(w, cfg) }},
 	}
 }
 

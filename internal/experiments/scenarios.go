@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"dcc"
+	"dcc/internal/runner"
+	"dcc/internal/scenario"
+	"dcc/internal/stats"
+)
+
+// ScenarioOraclesResult reports the deterministic-catalogue audit: one row
+// per connected scenario, pairing the closed-form oracle with what the
+// pipeline measured.
+type ScenarioOraclesResult struct {
+	Names []string
+	// Taus holds the oracle's smallest achievable confine size per row.
+	Taus []int
+	// OracleCovered / MeasuredCovered pair the closed-form coverage verdict
+	// with the sampled ground truth of the full deployment.
+	OracleCovered   []bool
+	MeasuredCovered []bool
+	// CriterionAfterSchedule records whether the τ-confine criterion still
+	// holds on the scheduled set (Theorem 5 says it must).
+	CriterionAfterSchedule []bool
+	// KeptInternal is the scheduled coverage-set size per row.
+	KeptInternal []int
+	// Mismatches counts rows whose oracle and measurement disagree on
+	// coverage or whose scheduled set fails the criterion.
+	Mismatches int
+}
+
+// scenarioOracleRow is the per-scenario outcome computed on the worker pool.
+type scenarioOracleRow struct {
+	measuredCovered bool
+	criterionOK     bool
+	keptInternal    int
+}
+
+// ScenarioOracles runs every connected catalogue scenario through the full
+// pipeline — schedule at the oracle's achievable τ, re-verify the criterion
+// on the result, and measure geometric coverage of the full deployment —
+// and prints the oracle-vs-measured table. A non-zero mismatch count means
+// the pipeline disagrees with closed-form ground truth.
+func ScenarioOracles(w io.Writer, cfg Config) (ScenarioOraclesResult, error) {
+	cfg = cfg.withDefaults()
+	cat, err := scenario.Catalogue()
+	if err != nil {
+		return ScenarioOraclesResult{}, err
+	}
+	connected := cat[:0]
+	for _, sc := range cat {
+		if sc.Oracle.Connected {
+			connected = append(connected, sc)
+		}
+	}
+	rows, err := runner.Map(len(connected), cfg.Workers, func(i int) (scenarioOracleRow, error) {
+		sc := connected[i]
+		res, err := sc.Dep.ScheduleDCC(sc.Oracle.AchievableTau, dcc.ScheduleOptions{
+			Seed: runner.DeriveSeed(cfg.Seed, streamScenarioSchedule, i),
+		})
+		if err != nil {
+			return scenarioOracleRow{}, fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		ok, err := sc.Dep.VerifyConfine(res.Final, sc.Oracle.AchievableTau)
+		if err != nil {
+			return scenarioOracleRow{}, fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		return scenarioOracleRow{
+			measuredCovered: sc.Coverage(nil).FullyCovered(),
+			criterionOK:     ok,
+			keptInternal:    len(res.KeptInternal),
+		}, nil
+	})
+	if err != nil {
+		return ScenarioOraclesResult{}, err
+	}
+	out := ScenarioOraclesResult{}
+	fmt.Fprintf(w, "Scenario oracles — closed-form catalogue vs pipeline (%d scenarios)\n", len(connected))
+	fmt.Fprintf(w, "  %-26s %4s %8s %9s %10s %6s\n", "scenario", "tau", "oracle", "measured", "criterion", "kept")
+	for i, sc := range connected {
+		r := rows[i]
+		out.Names = append(out.Names, sc.Name)
+		out.Taus = append(out.Taus, sc.Oracle.AchievableTau)
+		out.OracleCovered = append(out.OracleCovered, sc.Oracle.Covered)
+		out.MeasuredCovered = append(out.MeasuredCovered, r.measuredCovered)
+		out.CriterionAfterSchedule = append(out.CriterionAfterSchedule, r.criterionOK)
+		out.KeptInternal = append(out.KeptInternal, r.keptInternal)
+		if r.measuredCovered != sc.Oracle.Covered || !r.criterionOK {
+			out.Mismatches++
+		}
+		fmt.Fprintf(w, "  %-26s %4d %8v %9v %10v %6d\n",
+			sc.Name, sc.Oracle.AchievableTau, sc.Oracle.Covered, r.measuredCovered, r.criterionOK, r.keptInternal)
+	}
+	fmt.Fprintf(w, "  oracle mismatches: %d (expected 0)\n", out.Mismatches)
+	return out, nil
+}
+
+// stabilityTaus is the confine-size range of the perturbation sweep.
+var stabilityTaus = []int{3, 4, 5, 6}
+
+// stabilityLabels abbreviates the stability scenario names to fit the
+// table columns (same order as stabilityScenarios).
+var stabilityLabels = []string{
+	"square3", "square4", "tri3", "honey6", "honey3", "annulus3", "masked3", "hetero3",
+}
+
+// stabilityScenarios returns the catalogue subset swept for stability: one
+// covered regime per family, so every τ column has both below-threshold
+// (verdict false) and at-threshold rows.
+func stabilityScenarios() ([]*scenario.Scenario, error) {
+	names := []string{
+		"square/tau3/covered",
+		"square/tau4/covered",
+		"triangular/tau3/covered",
+		"honeycomb/tau6/covered",
+		"honeycomb/tau3/covered",
+		"annulus/tau3/covered",
+		"masked/tau3/covered",
+		"hetero/tau3/covered",
+	}
+	cat, err := scenario.Catalogue()
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]*scenario.Scenario, len(cat))
+	for _, sc := range cat {
+		byName[sc.Name] = sc
+	}
+	out := make([]*scenario.Scenario, 0, len(names))
+	for _, n := range names {
+		sc, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("experiments: stability scenario %q not in catalogue", n)
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+// ScenarioStabilityResult is the perturbation-stability sweep: EpsStar[s][t]
+// is the mean stability margin ε*/spacing of scenario Names[s] at confine
+// size Taus[t] — the smallest jitter amplitude (as a fraction of the lattice
+// spacing, averaged over seeded displacement fields) at which the τ-confine
+// verdict first differs from the unperturbed one. NaN means no flip within
+// the swept range.
+type ScenarioStabilityResult struct {
+	Names   []string
+	Taus    []int
+	EpsStar [][]float64
+}
+
+// ScenarioStability jitters every node of each stability scenario along a
+// seeded per-run displacement field, growing the amplitude ε until the
+// τ-confine verdict flips (a broken boundary-cycle link counts as a flip),
+// and reports the mean flip threshold ε* per scenario and τ — the
+// Hiraoka–Kusano-style stability margin of the verdict. Runs are
+// independent displacement fields on the worker pool.
+func ScenarioStability(w io.Writer, cfg Config) (ScenarioStabilityResult, error) {
+	cfg = cfg.withDefaults()
+	scs, err := stabilityScenarios()
+	if err != nil {
+		return ScenarioStabilityResult{}, err
+	}
+	// Amplitude grid in fractions of the lattice spacing. A half-spacing
+	// jitter already collapses most lattices, so the sweep stops at 0.5.
+	stepFrac := 0.02
+	if cfg.Quick {
+		stepFrac = 0.05
+	}
+	var fracs []float64
+	for f := stepFrac; f <= 0.5+1e-9; f += stepFrac {
+		fracs = append(fracs, f)
+	}
+
+	// Unperturbed baseline verdicts, shared by all runs.
+	base := make([][]bool, len(scs))
+	for s, sc := range scs {
+		base[s] = make([]bool, len(stabilityTaus))
+		for t, tau := range stabilityTaus {
+			v, err := sc.CriterionOK(tau)
+			if err != nil {
+				return ScenarioStabilityResult{}, fmt.Errorf("%s: unperturbed verdict: %w", sc.Name, err)
+			}
+			base[s][t] = v
+		}
+	}
+
+	perRun, err := runner.Map(cfg.Runs, cfg.Workers, func(run int) ([][]float64, error) {
+		rng := rand.New(rand.NewSource(runner.DeriveSeed(cfg.Seed, streamStabilityJitter, run)))
+		eps := make([][]float64, len(scs))
+		for s, sc := range scs {
+			// One displacement field per scenario and run: growing ε slides
+			// every node further along a fixed ray, so the flip threshold is
+			// well-defined.
+			disp := sc.Displacements(rng)
+			eps[s] = make([]float64, len(stabilityTaus))
+			for t := range stabilityTaus {
+				eps[s][t] = math.NaN()
+			}
+			remaining := len(stabilityTaus)
+			for _, f := range fracs {
+				if remaining == 0 {
+					break
+				}
+				jittered := sc.Displace(disp, f*sc.Spacing)
+				for t, tau := range stabilityTaus {
+					if !math.IsNaN(eps[s][t]) {
+						continue
+					}
+					v, err := jittered.CriterionOK(tau)
+					if err != nil || v != base[s][t] {
+						eps[s][t] = f
+						remaining--
+					}
+				}
+			}
+		}
+		return eps, nil
+	})
+	if err != nil {
+		return ScenarioStabilityResult{}, err
+	}
+
+	out := ScenarioStabilityResult{Taus: stabilityTaus}
+	series := make([]stats.Series, len(scs))
+	for s, sc := range scs {
+		out.Names = append(out.Names, sc.Name)
+		row := make([]float64, len(stabilityTaus))
+		for t := range stabilityTaus {
+			sum, n := 0.0, 0
+			for _, eps := range perRun {
+				if !math.IsNaN(eps[s][t]) {
+					sum += eps[s][t]
+					n++
+				}
+			}
+			if n > 0 {
+				row[t] = sum / float64(n)
+			} else {
+				row[t] = math.NaN()
+			}
+		}
+		out.EpsStar = append(out.EpsStar, row)
+		series[s].Name = stabilityLabels[s]
+		for t, tau := range stabilityTaus {
+			series[s].X = append(series[s].X, float64(tau))
+			series[s].Y = append(series[s].Y, row[t])
+		}
+	}
+	fmt.Fprintf(w, "Scenario stability — mean verdict-flip jitter ε*/spacing (%d runs, grid step %.2f)\n",
+		cfg.Runs, stepFrac)
+	fmt.Fprint(w, stats.Table("tau", series...))
+	fmt.Fprintf(w, "  NaN: verdict never flipped within ε ≤ 0.5·spacing\n")
+	return out, nil
+}

@@ -33,6 +33,8 @@ const (
 	streamRotationSchedule
 	streamReliabilityDeploy
 	streamReliabilitySchedule
+	streamScenarioSchedule
+	streamStabilityJitter
 )
 
 // seedStreams names every stream above for the disjointness and registry
@@ -56,4 +58,6 @@ var seedStreams = map[string]uint64{
 	"rotation-schedule":    streamRotationSchedule,
 	"reliability-deploy":   streamReliabilityDeploy,
 	"reliability-schedule": streamReliabilitySchedule,
+	"scenario-schedule":    streamScenarioSchedule,
+	"stability-jitter":     streamStabilityJitter,
 }

@@ -1,0 +1,669 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"dcc/internal/geom"
+	"dcc/internal/graph"
+)
+
+// The family generators below refuse parameter regimes whose ground truth
+// is ambiguous (spacings at a threshold, link radii that admit edges the
+// closed form does not account for) instead of emitting a best-effort
+// oracle: a scenario only enters the catalogue when its expectations are
+// provable from the geometry.
+
+// expand grows a core rectangle by rc on every side, so that
+// Deployment.CoreArea (= Target.Shrink(Rc)) recovers exactly the region
+// the oracle's closed form describes.
+func expand(core geom.Rect, rc float64) geom.Rect {
+	return geom.Rect{MinX: core.MinX - rc, MinY: core.MinY - rc, MaxX: core.MaxX + rc, MaxY: core.MaxY + rc}
+}
+
+// pointCoveredRaw reports whether p lies within rs of any point (uniform
+// radius; O(n), generator-side use only).
+func pointCoveredRaw(pts []geom.Point, rs float64, p geom.Point) bool {
+	for _, q := range pts {
+		if geom.Dist(p, q) <= rs {
+			return true
+		}
+	}
+	return false
+}
+
+// checkOracle validates a generated scenario's own claims that are cheap to
+// verify directly from the geometry: every published hole center must lie
+// in the monitored region (inside the core, outside every obstacle) and be
+// provably uncovered; a covered oracle must publish no centers.
+func checkOracle(sc *Scenario) (*Scenario, error) {
+	core := sc.Dep.CoreArea()
+	if sc.Oracle.Covered && len(sc.Oracle.HoleCenters) > 0 {
+		return nil, fmt.Errorf("scenario %s: covered oracle publishes hole centers", sc.Name)
+	}
+	if !sc.Oracle.Covered && len(sc.Oracle.HoleCenters) == 0 {
+		return nil, fmt.Errorf("scenario %s: uncovered oracle publishes no hole centers", sc.Name)
+	}
+	for _, c := range sc.Oracle.HoleCenters {
+		if !core.Contains(c) {
+			return nil, fmt.Errorf("scenario %s: hole center %v outside the core area", sc.Name, c)
+		}
+		if insideAny(c, sc.Dep.Obstacles) {
+			return nil, fmt.Errorf("scenario %s: hole center %v inside an obstacle", sc.Name, c)
+		}
+		if sc.PointCovered(c) {
+			return nil, fmt.Errorf("scenario %s: hole center %v is covered", sc.Name, c)
+		}
+	}
+	return sc, nil
+}
+
+// SquareLattice builds a rows×cols square lattice with spacing s,
+// communication radius rc and sensing radius rs. Ground truth (Tripathi et
+// al. closed forms):
+//
+//	covered    ⇔ s ≤ √2·rs   (cell circumradius s/√2 within sensing range)
+//	connected  ⇔ rc ≥ s
+//	τ* = 3 when rc ≥ √2·s (diagonals triangulate every cell),
+//	   = 4 when s ≤ rc < √2·s (the grid is bipartite: no 3-cycles exist,
+//	        and the perimeter is the GF(2) sum of the unit 4-cells)
+//
+// In the uncovered regime with s < 2·rs the cell edges stay covered, so
+// the uncovered blobs are confined one per cell: exactly
+// (rows−1)(cols−1) holes at the cell centers.
+func SquareLattice(name string, rows, cols int, s, rc, rs float64) (*Scenario, error) {
+	if rows < 3 || cols < 3 {
+		return nil, fmt.Errorf("scenario %s: square lattice needs rows, cols ≥ 3", name)
+	}
+	if s <= 0 || rc <= 0 || rs <= 0 {
+		return nil, fmt.Errorf("scenario %s: non-positive spacing or radius", name)
+	}
+	if rc >= 2*s {
+		return nil, fmt.Errorf("scenario %s: rc ≥ 2s admits skip links the closed form does not cover", name)
+	}
+	pts := make([]geom.Point, 0, rows*cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			pts = append(pts, geom.Point{X: float64(j) * s, Y: float64(i) * s})
+		}
+	}
+	core := geom.Rect{MaxX: float64(cols-1) * s, MaxY: float64(rows-1) * s}
+
+	connected := rc >= s
+	tau := 0
+	if rc >= math.Sqrt2*s {
+		tau = 3
+	} else if connected {
+		tau = 4
+	}
+
+	var outer []graph.NodeID
+	if connected {
+		var err error
+		if outer, err = outerFaceCycle(pts, geom.UDG(pts, 1.01*s)); err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", name, err)
+		}
+	} else {
+		// No edges exist below the connectivity threshold; publish the
+		// analytic perimeter so the deployment still names its intended
+		// boundary (Validate is skipped for disconnected oracles).
+		id := func(i, j int) graph.NodeID { return graph.NodeID(i*cols + j) }
+		for j := 0; j < cols; j++ {
+			outer = append(outer, id(0, j))
+		}
+		for i := 1; i < rows; i++ {
+			outer = append(outer, id(i, cols-1))
+		}
+		for j := cols - 2; j >= 0; j-- {
+			outer = append(outer, id(rows-1, j))
+		}
+		for i := rows - 2; i >= 1; i-- {
+			outer = append(outer, id(i, 0))
+		}
+	}
+
+	o := Oracle{
+		Connected:         connected,
+		AchievableTau:     tau,
+		Covered:           s <= math.Sqrt2*rs,
+		CoverageThreshold: math.Sqrt2 * rs,
+	}
+	if !o.Covered {
+		for i := 0; i < rows-1; i++ {
+			for j := 0; j < cols-1; j++ {
+				o.HoleCenters = append(o.HoleCenters,
+					geom.Point{X: (float64(j) + 0.5) * s, Y: (float64(i) + 0.5) * s})
+			}
+		}
+		o.HoleCenters = sortedCenters(o.HoleCenters)
+		if s < 2*rs {
+			o.HoleCount = (rows - 1) * (cols - 1)
+			o.HoleCountExact = true
+		}
+	}
+	sc, err := assemble(name, pts, s, rc, rs, expand(core, rc), outer, nil, nil, nil, o)
+	if err != nil {
+		return nil, err
+	}
+	return checkOracle(sc)
+}
+
+// TriangularLattice builds a rows×cols triangular lattice (odd rows offset
+// by s/2, row pitch (√3/2)·s). Ground truth:
+//
+//	covered    ⇔ s ≤ √3·rs   (equilateral cell circumradius s/√3)
+//	connected, τ* = 3 for s ≤ rc < √3·s (the lattice is its own
+//	triangulation; larger rc admits second-neighbor chords outside the
+//	closed form and is refused)
+//
+// Uncovered blobs sit at the triangle circumcenters (= centroids); their
+// connectivity across cell edges depends on rs, so the oracle publishes
+// centers without an exact count.
+func TriangularLattice(name string, rows, cols int, s, rc, rs float64) (*Scenario, error) {
+	if rows < 3 || cols < 4 {
+		return nil, fmt.Errorf("scenario %s: triangular lattice needs rows ≥ 3, cols ≥ 4", name)
+	}
+	if s <= 0 || rs <= 0 || rc < s || rc >= math.Sqrt(3)*s {
+		return nil, fmt.Errorf("scenario %s: triangular lattice needs s ≤ rc < √3·s", name)
+	}
+	h := math.Sqrt(3) / 2 * s
+	pts := make([]geom.Point, 0, rows*cols)
+	for i := 0; i < rows; i++ {
+		off := 0.0
+		if i%2 == 1 {
+			off = 0.5 * s
+		}
+		for j := 0; j < cols; j++ {
+			pts = append(pts, geom.Point{X: float64(j)*s + off, Y: float64(i) * h})
+		}
+	}
+	// The strip between consecutive rows is a parallelogram leaning left or
+	// right by s/2; the x-range [s/2, (cols−1)·s] is inside every strip.
+	core := geom.Rect{MinX: 0.5 * s, MaxX: float64(cols-1) * s, MaxY: float64(rows-1) * h}
+
+	outer, err := outerFaceCycle(pts, geom.UDG(pts, 1.01*s))
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", name, err)
+	}
+	o := Oracle{
+		Connected:         true,
+		AchievableTau:     3,
+		Covered:           s <= math.Sqrt(3)*rs,
+		CoverageThreshold: math.Sqrt(3) * rs,
+	}
+	if !o.Covered {
+		for i := 0; i < rows-1; i++ {
+			base := float64(i) * h
+			for j := 0; j < cols-1; j++ {
+				x0 := float64(j) * s
+				var c1, c2 geom.Point
+				if i%2 == 0 {
+					c1 = geom.Point{X: x0 + 0.5*s, Y: base + h/3}
+					c2 = geom.Point{X: x0 + s, Y: base + 2*h/3}
+				} else {
+					c1 = geom.Point{X: x0 + 0.5*s, Y: base + 2*h/3}
+					c2 = geom.Point{X: x0 + s, Y: base + h/3}
+				}
+				for _, c := range []geom.Point{c1, c2} {
+					if core.Contains(c) {
+						o.HoleCenters = append(o.HoleCenters, c)
+					}
+				}
+			}
+		}
+		o.HoleCenters = sortedCenters(o.HoleCenters)
+	}
+	sc, err := assemble(name, pts, s, rc, rs, expand(core, rc), outer, nil, nil, nil, o)
+	if err != nil {
+		return nil, err
+	}
+	return checkOracle(sc)
+}
+
+// Honeycomb builds a rows×cols honeycomb (hexagonal) lattice with edge
+// length s in brick coordinates: column pitch (√3/2)·s, row pitch 1.5·s,
+// odd-parity nodes lifted by s/2. Ground truth:
+//
+//	covered    ⇔ s ≤ rs       (hexagon circumradius s, maximized at the
+//	                           face centers)
+//	connected  for rc ≥ s; τ* = 6 when s ≤ rc < √3·s (girth 6: no shorter
+//	cycle exists, and the perimeter is the GF(2) sum of the hexagon faces),
+//	τ* = 3 when √3·s ≤ rc < 2·s (second-neighbor chords split every
+//	hexagon into four triangles)
+func Honeycomb(name string, rows, cols int, s, rc, rs float64) (*Scenario, error) {
+	if rows < 3 || cols < 6 {
+		return nil, fmt.Errorf("scenario %s: honeycomb needs rows ≥ 3, cols ≥ 6", name)
+	}
+	if s <= 0 || rs <= 0 || rc < s || rc >= 2*s {
+		return nil, fmt.Errorf("scenario %s: honeycomb needs s ≤ rc < 2·s", name)
+	}
+	hx := math.Sqrt(3) / 2 * s
+	pts := make([]geom.Point, 0, rows*cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			y := 1.5 * s * float64(i)
+			if (i+j)%2 == 1 {
+				y += 0.5 * s
+			}
+			pts = append(pts, geom.Point{X: hx * float64(j), Y: y})
+		}
+	}
+	// Grid corners whose vertical link is parity-forbidden are pendant
+	// (degree 1) and belong to no hexagon face; prune them so the lattice is
+	// 2-connected and its outer face is the hexagon-union boundary. Only
+	// corners can be pendant, so the extreme rows and columns survive and the
+	// formula bbox below stays exact.
+	for {
+		g := geom.UDG(pts, 1.01*s)
+		kept := make([]geom.Point, 0, len(pts))
+		for i, p := range pts {
+			if len(g.Neighbors(graph.NodeID(i))) >= 2 {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) == len(pts) {
+			break
+		}
+		pts = kept
+	}
+	bbox := geom.Rect{MaxX: hx * float64(cols-1), MaxY: 1.5*s*float64(rows-1) + 0.5*s}
+	core := bbox.Shrink(s)
+	if core.Width() <= 0 || core.Height() <= 0 {
+		return nil, fmt.Errorf("scenario %s: honeycomb too small for a core area", name)
+	}
+
+	tau := 6
+	if rc >= math.Sqrt(3)*s {
+		tau = 3
+	}
+	outer, err := outerFaceCycle(pts, geom.UDG(pts, 1.01*s))
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", name, err)
+	}
+	o := Oracle{
+		Connected:         true,
+		AchievableTau:     tau,
+		Covered:           s <= rs,
+		CoverageThreshold: rs,
+	}
+	if !o.Covered {
+		// One face per even-parity node that is a hexagon's bottom vertex:
+		// the face center sits one edge length straight above it.
+		for i := 0; i < rows-1; i++ {
+			for j := 1; j < cols-1; j++ {
+				if (i+j)%2 != 0 {
+					continue
+				}
+				c := geom.Point{X: hx * float64(j), Y: 1.5*s*float64(i) + s}
+				if core.Contains(c) {
+					o.HoleCenters = append(o.HoleCenters, c)
+				}
+			}
+		}
+		o.HoleCenters = sortedCenters(o.HoleCenters)
+	}
+	sc, err := assemble(name, pts, s, rc, rs, expand(core, rc), outer, nil, nil, nil, o)
+	if err != nil {
+		return nil, err
+	}
+	return checkOracle(sc)
+}
+
+// Annulus builds concentric rings of n nodes each (shared angular grid) at
+// the given ascending radii, with an obstacle filling the innermost ring's
+// disk: the monitored region is the core square minus the obstacle, the
+// innermost ring is the inner boundary cycle and the outermost ring the
+// outer one. Each cell of the mesh is a cyclic isosceles trapezoid:
+//
+//	covered ⇔ every band's trapezoid circumradius ≤ rs
+//	τ* = 3 when every cell diagonal ≤ rc (full triangulation),
+//	   = 4 when no diagonal and no skip chord ≤ rc (girth-4 quad mesh)
+//
+// In the uncovered regime exactly one band must be bad; its holes merge
+// into a single annular hole when the radial edge midpoints are uncovered,
+// and stay n disjoint blobs otherwise — both counts are exact, with the n
+// trapezoid circumcenters as representative centers either way.
+func Annulus(name string, radii []float64, n int, rc, rs, coreHalf float64) (*Scenario, error) {
+	if len(radii) < 2 || n < 8 {
+		return nil, fmt.Errorf("scenario %s: annulus needs ≥ 2 rings and n ≥ 8", name)
+	}
+	if !sort.Float64sAreSorted(radii) || radii[0] <= 0 {
+		return nil, fmt.Errorf("scenario %s: ring radii must be positive ascending", name)
+	}
+	if rc <= 0 || rs <= 0 || coreHalf <= 0 {
+		return nil, fmt.Errorf("scenario %s: non-positive radius or core size", name)
+	}
+	rOut := radii[len(radii)-1]
+	if coreHalf*math.Sqrt2 > rOut*math.Cos(math.Pi/float64(n)) {
+		return nil, fmt.Errorf("scenario %s: core square reaches outside the outer chord polygon", name)
+	}
+	step := 2 * math.Pi / float64(n)
+	at := func(r, theta float64) geom.Point {
+		return geom.Point{X: r * math.Cos(theta), Y: r * math.Sin(theta)}
+	}
+	// Nodes sit at half-step offsets so the spoke directions avoid the core
+	// square's axes and diagonals: the uncovered bulges of a bad band peak at
+	// the cell mid-angles (now the axis-aligned and diagonal directions),
+	// where the square boundary clips their thin tapering tips — keeping the
+	// merged-hole geometry robust at sampling resolution.
+	pts := make([]geom.Point, 0, len(radii)*n)
+	for _, r := range radii {
+		for m := 0; m < n; m++ {
+			pts = append(pts, at(r, step*(float64(m)+0.5)))
+		}
+	}
+
+	// Edge inventory against the closed form: ring chords and radial rungs
+	// must exist; diagonals and skip chords decide τ.
+	minDiag, maxDiag := math.Inf(1), 0.0
+	for k := 0; k+1 < len(radii); k++ {
+		if radii[k+1]-radii[k] > rc {
+			return nil, fmt.Errorf("scenario %s: radial gap %g exceeds rc", name, radii[k+1]-radii[k])
+		}
+		d := geom.Dist(at(radii[k], 0), at(radii[k+1], step))
+		minDiag = math.Min(minDiag, d)
+		maxDiag = math.Max(maxDiag, d)
+	}
+	for _, r := range radii {
+		if chord := 2 * r * math.Sin(math.Pi/float64(n)); chord > rc {
+			return nil, fmt.Errorf("scenario %s: ring chord %g exceeds rc", name, chord)
+		}
+	}
+	tau := 0
+	switch {
+	case maxDiag <= rc:
+		tau = 3
+	case minDiag > rc:
+		tau = 4
+		for _, r := range radii {
+			if skip := 2 * r * math.Sin(2*math.Pi/float64(n)); skip <= rc {
+				return nil, fmt.Errorf("scenario %s: skip chord %g ≤ rc creates triangles in the τ=4 regime", name, skip)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("scenario %s: mixed diagonal regime (min %g, max %g vs rc %g)", name, minDiag, maxDiag, rc)
+	}
+
+	// Per-band circumradius of the trapezoid cell (any 3 corners determine
+	// the circle of the cyclic quad).
+	bad := -1
+	for k := 0; k+1 < len(radii); k++ {
+		cr := circumradius(at(radii[k], 0), at(radii[k], step), at(radii[k+1], 0))
+		if cr > rs {
+			if bad >= 0 {
+				return nil, fmt.Errorf("scenario %s: more than one uncovered band", name)
+			}
+			bad = k
+		}
+	}
+	o := Oracle{
+		Connected:     true,
+		AchievableTau: tau,
+		Covered:       bad < 0,
+		// Critical sensing radius: the largest band circumradius.
+		CoverageThreshold: func() float64 {
+			worst := 0.0
+			for k := 0; k+1 < len(radii); k++ {
+				worst = math.Max(worst, circumradius(at(radii[k], 0), at(radii[k], step), at(radii[k+1], 0)))
+			}
+			return worst
+		}(),
+	}
+	if bad >= 0 {
+		cc := circumcenter(at(radii[bad], 0), at(radii[bad], step), at(radii[bad+1], 0))
+		ccR := math.Hypot(cc.X, cc.Y)
+		for m := 0; m < n; m++ {
+			// Cell mid-angles in the half-step-offset frame.
+			o.HoleCenters = append(o.HoleCenters, at(ccR, step*float64(m)))
+		}
+		o.HoleCenters = sortedCenters(o.HoleCenters)
+		o.HoleCountExact = true
+		// Midpoint of a radial edge (a node angle): covered ⇒ the blobs stay
+		// confined to their trapezoids, uncovered ⇒ they merge into a ring.
+		mid := at((radii[bad]+radii[bad+1])/2, step*0.5)
+		if pointCoveredRaw(pts, rs, mid) {
+			o.HoleCount = n // blobs stay confined to their trapezoids
+		} else {
+			o.HoleCount = 1 // blobs merge through the radial edges into one ring
+		}
+	}
+
+	outer := make([]graph.NodeID, n)
+	inner := make([]graph.NodeID, n)
+	for m := 0; m < n; m++ {
+		inner[m] = graph.NodeID(m)
+		outer[m] = graph.NodeID((len(radii)-1)*n + m)
+	}
+	core := geom.Rect{MinX: -coreHalf, MinY: -coreHalf, MaxX: coreHalf, MaxY: coreHalf}
+	obstacles := []geom.Circle{{Center: geom.Point{}, R: radii[0]}}
+	sc, err := assemble(name, pts, radii[1]-radii[0], rc, rs, expand(core, rc),
+		outer, [][]graph.NodeID{inner}, obstacles, nil, o)
+	if err != nil {
+		return nil, err
+	}
+	return checkOracle(sc)
+}
+
+// MaskedLattice builds a square lattice in the τ=3 (diagonal) regime with a
+// plus-shaped crater — the center node and its four axis neighbors removed —
+// masked by a circular obstacle of radius obstacleR at the crater center.
+// The eight surviving nodes around the crater form the inner boundary
+// cycle (consecutive distance √2·s). Ground truth: the crater leaves an
+// uncovered plus-shaped region reaching 2s−rs along the axes, so
+//
+//	covered ⇔ obstacleR ≥ 2s − rs   (the obstacle exempts the whole blob)
+//
+// and in the uncovered regime the blob is a single hole (its lobes connect
+// through the obstacle interior), represented by the four axis midpoints
+// between the obstacle edge and the blob tip.
+func MaskedLattice(name string, rows, cols int, s, rc, rs, obstacleR float64) (*Scenario, error) {
+	if rows < 7 || cols < 7 || rows%2 == 0 || cols%2 == 0 {
+		return nil, fmt.Errorf("scenario %s: masked lattice needs odd rows, cols ≥ 7", name)
+	}
+	if s <= 0 || rc < math.Sqrt2*s || rc >= 2*s {
+		return nil, fmt.Errorf("scenario %s: masked lattice needs √2·s ≤ rc < 2·s", name)
+	}
+	if rs <= s/2 || rs >= s || s > math.Sqrt2*rs {
+		// rs ∈ (s/2, s): the base lattice is covered and edge strips stay
+		// covered, so the only uncovered region is the crater blob.
+		return nil, fmt.Errorf("scenario %s: masked lattice needs rs ∈ (s/2, s) with s ≤ √2·rs", name)
+	}
+	if obstacleR >= math.Sqrt2*s {
+		return nil, fmt.Errorf("scenario %s: obstacle reaches the inner boundary ring", name)
+	}
+	ci, cj := rows/2, cols/2
+	removed := func(i, j int) bool {
+		di, dj := i-ci, j-cj
+		return di*di+dj*dj <= 1
+	}
+	ids := make(map[[2]int]graph.NodeID)
+	var pts []geom.Point
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if removed(i, j) {
+				continue
+			}
+			ids[[2]int{i, j}] = graph.NodeID(len(pts))
+			pts = append(pts, geom.Point{X: float64(j) * s, Y: float64(i) * s})
+		}
+	}
+	center := geom.Point{X: float64(cj) * s, Y: float64(ci) * s}
+	core := geom.Rect{MaxX: float64(cols-1) * s, MaxY: float64(rows-1) * s}
+
+	outer, err := outerFaceCycle(pts, geom.UDG(pts, 1.01*s))
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", name, err)
+	}
+	ringOffsets := [8][2]int{{2, 0}, {1, 1}, {0, 2}, {-1, 1}, {-2, 0}, {-1, -1}, {0, -2}, {1, -1}}
+	inner := make([]graph.NodeID, 0, 8)
+	for _, d := range ringOffsets {
+		id, ok := ids[[2]int{ci + d[0], cj + d[1]}]
+		if !ok {
+			return nil, fmt.Errorf("scenario %s: inner ring node missing", name)
+		}
+		inner = append(inner, id)
+	}
+
+	blobTip := 2*s - rs // farthest uncovered axis point from the crater center
+	o := Oracle{
+		Connected:         true,
+		AchievableTau:     3,
+		Covered:           obstacleR >= blobTip,
+		CoverageThreshold: blobTip, // critical obstacle radius
+	}
+	if !o.Covered {
+		mid := (obstacleR + blobTip) / 2
+		o.HoleCenters = sortedCenters([]geom.Point{
+			{X: center.X + mid, Y: center.Y},
+			{X: center.X - mid, Y: center.Y},
+			{X: center.X, Y: center.Y + mid},
+			{X: center.X, Y: center.Y - mid},
+		})
+		o.HoleCount = 1
+		o.HoleCountExact = true
+	}
+	obstacles := []geom.Circle{{Center: center, R: obstacleR}}
+	sc, err := assemble(name, pts, s, rc, rs, expand(core, rc),
+		outer, [][]graph.NodeID{inner}, obstacles, nil, o)
+	if err != nil {
+		return nil, err
+	}
+	return checkOracle(sc)
+}
+
+// HeteroCheckerboard builds a square lattice with two sensing classes in a
+// checkerboard: even-parity nodes sense to rBig, odd-parity nodes to
+// rSmall. The worst-case point lies on the diagonal between two adjacent
+// small nodes, at the edge of a small disk; its distance to the nearest
+// big node gives the closed form
+//
+//	covered ⇔ rBig ≥ √(s² + rSmall² − √2·s·rSmall)
+//
+// which degenerates to the uniform square-lattice threshold s ≤ √2·r at
+// rSmall = rBig = r. Communication is uniform (rc), so connectivity and τ*
+// follow the square-lattice rules. Uncovered blobs straddle the cell
+// centers (each center is √2/2·s from all four corners); their exact count
+// is parameter-dependent, so the oracle publishes centers only.
+func HeteroCheckerboard(name string, rows, cols int, s, rc, rBig, rSmall float64) (*Scenario, error) {
+	if rows < 3 || cols < 3 {
+		return nil, fmt.Errorf("scenario %s: checkerboard needs rows, cols ≥ 3", name)
+	}
+	if s <= 0 || rc < s || rc >= 2*s {
+		return nil, fmt.Errorf("scenario %s: checkerboard needs s ≤ rc < 2·s", name)
+	}
+	if rSmall < s/2 || rSmall >= s/math.Sqrt2 {
+		// rSmall ≥ s/2 keeps the lattice edges covered; rSmall < s/√2
+		// keeps the small–small diagonal the binding constraint.
+		return nil, fmt.Errorf("scenario %s: checkerboard needs rSmall ∈ [s/2, s/√2)", name)
+	}
+	crit := math.Sqrt(s*s + rSmall*rSmall - math.Sqrt2*s*rSmall)
+	covered := rBig >= crit
+	if !covered && rBig >= s/math.Sqrt2 {
+		// Uncovered, but the blob hides near the critical point rather
+		// than the cell center: no provable representative point.
+		return nil, fmt.Errorf("scenario %s: rBig between √2/2·s and the threshold leaves no provable hole center", name)
+	}
+	pts := make([]geom.Point, 0, rows*cols)
+	radii := make([]float64, 0, rows*cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			pts = append(pts, geom.Point{X: float64(j) * s, Y: float64(i) * s})
+			if (i+j)%2 == 0 {
+				radii = append(radii, rBig)
+			} else {
+				radii = append(radii, rSmall)
+			}
+		}
+	}
+	core := geom.Rect{MaxX: float64(cols-1) * s, MaxY: float64(rows-1) * s}
+	tau := 4
+	if rc >= math.Sqrt2*s {
+		tau = 3
+	}
+	outer, err := outerFaceCycle(pts, geom.UDG(pts, 1.01*s))
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", name, err)
+	}
+	o := Oracle{
+		Connected:         true,
+		AchievableTau:     tau,
+		Covered:           covered,
+		CoverageThreshold: crit, // critical rBig
+	}
+	if !covered {
+		for i := 0; i < rows-1; i++ {
+			for j := 0; j < cols-1; j++ {
+				o.HoleCenters = append(o.HoleCenters,
+					geom.Point{X: (float64(j) + 0.5) * s, Y: (float64(i) + 0.5) * s})
+			}
+		}
+		o.HoleCenters = sortedCenters(o.HoleCenters)
+	}
+	sc, err := assemble(name, pts, s, rc, rSmall, expand(core, rc), outer, nil, nil, radii, o)
+	if err != nil {
+		return nil, err
+	}
+	return checkOracle(sc)
+}
+
+// Catalogue returns the full deterministic scenario set: every family at
+// every τ regime it supports, each with at least one threshold-crossing
+// negative case. The catalogue is pure geometry — building it runs no part
+// of the DCC pipeline — so tests can hold the pipeline to it as an
+// independent ground truth.
+func Catalogue() ([]*Scenario, error) {
+	type gen struct {
+		name  string
+		build func(name string) (*Scenario, error)
+	}
+	gens := []gen{
+		{"square/tau3/covered", func(n string) (*Scenario, error) { return SquareLattice(n, 6, 6, 1, 1.5, 0.9) }},
+		{"square/tau3/uncovered", func(n string) (*Scenario, error) { return SquareLattice(n, 6, 6, 1, 1.5, 0.65) }},
+		{"square/tau4/covered", func(n string) (*Scenario, error) { return SquareLattice(n, 6, 6, 1, 1.2, 0.85) }},
+		{"square/tau4/uncovered", func(n string) (*Scenario, error) { return SquareLattice(n, 6, 6, 1, 1.2, 0.65) }},
+		{"square/disconnected", func(n string) (*Scenario, error) { return SquareLattice(n, 6, 6, 1, 0.9, 0.9) }},
+		{"triangular/tau3/covered", func(n string) (*Scenario, error) { return TriangularLattice(n, 6, 6, 1, 1.2, 0.7) }},
+		{"triangular/tau3/uncovered", func(n string) (*Scenario, error) { return TriangularLattice(n, 6, 6, 1, 1.2, 0.5) }},
+		{"honeycomb/tau6/covered", func(n string) (*Scenario, error) { return Honeycomb(n, 4, 8, 1, 1.2, 1.25) }},
+		{"honeycomb/tau6/uncovered", func(n string) (*Scenario, error) { return Honeycomb(n, 4, 8, 1, 1.2, 0.85) }},
+		{"honeycomb/tau3/covered", func(n string) (*Scenario, error) { return Honeycomb(n, 4, 8, 1, 1.8, 1.05) }},
+		{"strip/tau4/covered", func(n string) (*Scenario, error) { return SquareLattice(n, 4, 12, 1, 1.2, 0.85) }},
+		{"strip/tau4/uncovered", func(n string) (*Scenario, error) { return SquareLattice(n, 4, 12, 1, 1.2, 0.65) }},
+		{"annulus/tau3/covered", func(n string) (*Scenario, error) {
+			return Annulus(n, []float64{2.0, 2.9, 3.8}, 16, 1.7, 1.0, 2.5)
+		}},
+		{"annulus/tau4/covered", func(n string) (*Scenario, error) {
+			return Annulus(n, []float64{3.0, 4.0}, 24, 1.2, 0.9, 2.8)
+		}},
+		{"annulus/tau3/uncovered", func(n string) (*Scenario, error) {
+			// rs = 1.35 keeps the merged annular hole ≥ 3 sampling cells wide
+			// at its narrowest (node angles: covered to 2.55 from inside,
+			// from 3.15 outside), so the single-hole count is robust.
+			return Annulus(n, []float64{1.2, 4.5}, 12, 3.8, 1.35, 3.0)
+		}},
+		{"masked/tau3/covered", func(n string) (*Scenario, error) { return MaskedLattice(n, 7, 7, 1, 1.5, 0.9, 1.2) }},
+		{"masked/tau3/uncovered", func(n string) (*Scenario, error) { return MaskedLattice(n, 7, 7, 1, 1.5, 0.9, 0.9) }},
+		{"hetero/tau3/covered", func(n string) (*Scenario, error) { return HeteroCheckerboard(n, 6, 6, 1, 1.5, 0.8, 0.6) }},
+		{"hetero/tau3/uncovered", func(n string) (*Scenario, error) { return HeteroCheckerboard(n, 6, 6, 1, 1.5, 0.63, 0.6) }},
+		{"hetero/tau4/covered", func(n string) (*Scenario, error) { return HeteroCheckerboard(n, 6, 6, 1, 1.2, 0.8, 0.6) }},
+	}
+	out := make([]*Scenario, 0, len(gens))
+	seen := make(map[string]bool, len(gens))
+	for _, g := range gens {
+		if seen[g.name] {
+			return nil, fmt.Errorf("scenario: duplicate catalogue name %s", g.name)
+		}
+		seen[g.name] = true
+		sc, err := g.build(g.name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sc)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("scenario: empty catalogue")
+	}
+	return out, nil
+}

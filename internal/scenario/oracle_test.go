@@ -1,0 +1,250 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"dcc"
+	"dcc/internal/cover"
+	"dcc/internal/geom"
+)
+
+func mustCatalogue(t *testing.T) []*Scenario {
+	t.Helper()
+	cat, err := Catalogue()
+	if err != nil {
+		t.Fatalf("catalogue: %v", err)
+	}
+	return cat
+}
+
+// holeNear reports whether some measured hole has a cell within tol of p
+// (the oracle's representative point for that hole).
+func holeNear(rep cover.Report, p geom.Point, tol float64) bool {
+	for _, h := range rep.Holes {
+		for _, c := range h.Cells {
+			if math.Abs(c.X-p.X) <= tol && math.Abs(c.Y-p.Y) <= tol {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestCatalogueOracles holds the DCC pipeline to every closed-form
+// expectation the catalogue publishes: connectivity of the built graph,
+// the smallest achievable confine size, the coverage verdict, exact hole
+// counts where the family proves them, and the location of every expected
+// hole.
+func TestCatalogueOracles(t *testing.T) {
+	for _, sc := range mustCatalogue(t) {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			o := sc.Oracle
+			if got := sc.Dep.G.IsConnected(); got != o.Connected {
+				t.Errorf("IsConnected = %v, oracle says %v", got, o.Connected)
+			}
+			if o.Connected {
+				tau, err := sc.Dep.AchievableTau(8)
+				if err != nil {
+					t.Fatalf("AchievableTau: %v", err)
+				}
+				if tau != o.AchievableTau {
+					t.Errorf("AchievableTau = %d, oracle says %d", tau, o.AchievableTau)
+				}
+				// The verifier must reject the next-smaller confine size:
+				// the oracle claims the minimum, not just achievability.
+				if o.AchievableTau > 3 {
+					ok, err := sc.Dep.VerifyConfine(sc.Dep.G, o.AchievableTau-1)
+					if err != nil {
+						t.Fatalf("VerifyConfine(τ-1): %v", err)
+					}
+					if ok {
+						t.Errorf("VerifyConfine accepts τ = %d below the oracle minimum", o.AchievableTau-1)
+					}
+				}
+			} else {
+				if _, err := sc.Dep.AchievableTau(8); err == nil {
+					t.Error("AchievableTau succeeded on a disconnected deployment")
+				}
+			}
+
+			rep := sc.Coverage(nil)
+			if got := rep.FullyCovered(); got != o.Covered {
+				t.Errorf("FullyCovered = %v, oracle says %v (%d holes, max diameter %.3f)",
+					got, o.Covered, len(rep.Holes), rep.MaxHoleDiameter())
+			}
+			if o.HoleCountExact && len(rep.Holes) != o.HoleCount {
+				t.Errorf("measured %d holes, oracle says exactly %d", len(rep.Holes), o.HoleCount)
+			}
+			tol := 2 * rep.Resolution
+			for _, c := range o.HoleCenters {
+				if sc.PointCovered(c) {
+					t.Errorf("oracle hole center %v is covered", c)
+				}
+				if !holeNear(rep, c, tol) {
+					t.Errorf("no measured hole near oracle center %v", c)
+				}
+			}
+		})
+	}
+}
+
+// TestThresholdCrossing sweeps each family's critical knob across its
+// closed-form coverage threshold and checks that the generator's verdict
+// and the measured ground truth flip together — the boundary cases where
+// an off-by-one in the closed form or a discretisation bug in the pipeline
+// would show first.
+func TestThresholdCrossing(t *testing.T) {
+	cases := []struct {
+		name  string
+		knobs []float64
+		build func(name string, knob float64) (*Scenario, error)
+	}{
+		{"square", []float64{0.66, 0.75}, func(n string, k float64) (*Scenario, error) {
+			return SquareLattice(n, 6, 6, 1, 1.5, k) // threshold rs* = 1/√2 ≈ 0.707
+		}},
+		{"strip", []float64{0.66, 0.75}, func(n string, k float64) (*Scenario, error) {
+			return SquareLattice(n, 4, 12, 1, 1.2, k)
+		}},
+		{"triangular", []float64{0.55, 0.62}, func(n string, k float64) (*Scenario, error) {
+			return TriangularLattice(n, 6, 6, 1, 1.2, k) // rs* = 1/√3 ≈ 0.577
+		}},
+		{"honeycomb", []float64{0.93, 1.08}, func(n string, k float64) (*Scenario, error) {
+			return Honeycomb(n, 4, 8, 1, 1.2, k) // rs* = 1
+		}},
+		{"annulus", []float64{1.35, 1.9}, func(n string, k float64) (*Scenario, error) {
+			return Annulus(n, []float64{1.2, 4.5}, 12, 3.8, k, 3.0) // rs* ≈ 1.82 (band circumradius)
+		}},
+		{"masked", []float64{1.0, 1.15}, func(n string, k float64) (*Scenario, error) {
+			return MaskedLattice(n, 7, 7, 1, 1.5, 0.9, k) // obstacleR* = 1.1
+		}},
+		{"hetero", []float64{0.68, 0.75}, func(n string, k float64) (*Scenario, error) {
+			return HeteroCheckerboard(n, 6, 6, 1, 1.5, k, 0.6) // rBig* ≈ 0.716
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			verdicts := make(map[bool]bool)
+			for _, knob := range tc.knobs {
+				sc, err := tc.build(tc.name, knob)
+				if err != nil {
+					t.Fatalf("knob %g: %v", knob, err)
+				}
+				verdicts[sc.Oracle.Covered] = true
+				if got := sc.Coverage(nil).FullyCovered(); got != sc.Oracle.Covered {
+					t.Errorf("knob %g: measured covered = %v, oracle says %v", knob, got, sc.Oracle.Covered)
+				}
+			}
+			if !verdicts[true] || !verdicts[false] {
+				t.Error("knob grid does not cross the coverage threshold")
+			}
+		})
+	}
+}
+
+// TestSchedulePreservesOracleCoverage is the paper's guarantee tested
+// against independent geometric truth: on every covered scenario whose
+// sensing ratio satisfies the blanket condition γ ≤ 2·sin(π/τ)
+// (Proposition 1), scheduling at the achievable τ must keep the criterion
+// true AND keep the measured region fully covered.
+func TestSchedulePreservesOracleCoverage(t *testing.T) {
+	seeds := []int64{1, 2}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	ran := 0
+	for _, sc := range mustCatalogue(t) {
+		sc := sc
+		o := sc.Oracle
+		if !o.Connected || !o.Covered || sc.Radii != nil {
+			continue
+		}
+		gamma := sc.Dep.Gamma()
+		tau := o.AchievableTau
+		if gamma > 2*math.Sin(math.Pi/float64(tau))+1e-9 {
+			continue // no blanket guarantee at this γ; nothing to hold the scheduler to
+		}
+		ran++
+		t.Run(sc.Name, func(t *testing.T) {
+			for _, seed := range seeds {
+				res, err := sc.Dep.ScheduleDCC(tau, dcc.ScheduleOptions{Seed: seed})
+				if err != nil {
+					t.Fatalf("seed %d: ScheduleDCC: %v", seed, err)
+				}
+				ok, err := sc.Dep.VerifyConfine(res.Final, tau)
+				if err != nil {
+					t.Fatalf("seed %d: VerifyConfine: %v", seed, err)
+				}
+				if !ok {
+					t.Fatalf("seed %d: scheduled set fails the τ=%d criterion", seed, tau)
+				}
+				rep := sc.Coverage(res.Final)
+				if !rep.FullyCovered() {
+					t.Errorf("seed %d: schedule opened %d coverage holes (max diameter %.3f) despite γ=%.3f ≤ 2sin(π/%d)",
+						seed, len(rep.Holes), rep.MaxHoleDiameter(), gamma, tau)
+				}
+			}
+		})
+	}
+	if ran < 6 {
+		t.Errorf("only %d covered scenarios met the blanket condition; catalogue should provide more", ran)
+	}
+}
+
+// TestOuterFaceTrace pins the generic perimeter trace on shapes whose
+// boundary is known in closed form.
+func TestOuterFaceTrace(t *testing.T) {
+	t.Run("square", func(t *testing.T) {
+		sc, err := SquareLattice("trace-square", 5, 7, 1, 1.2, 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := 2*(5+7) - 4; len(sc.Dep.OuterCycle) != want {
+			t.Errorf("perimeter length %d, want %d", len(sc.Dep.OuterCycle), want)
+		}
+	})
+	t.Run("cycle-integrity", func(t *testing.T) {
+		for _, sc := range mustCatalogue(t) {
+			if !sc.Oracle.Connected {
+				continue
+			}
+			cyc := sc.Dep.OuterCycle
+			seen := make(map[dcc.NodeID]bool, len(cyc))
+			for i, v := range cyc {
+				if seen[v] {
+					t.Errorf("%s: outer cycle repeats node %d", sc.Name, v)
+				}
+				seen[v] = true
+				next := cyc[(i+1)%len(cyc)]
+				if !sc.Dep.G.HasEdge(v, next) {
+					t.Errorf("%s: outer cycle edge %d–%d missing from graph", sc.Name, v, next)
+				}
+			}
+			// The trace must reach the extreme points of the hull.
+			var lo, hi geom.Point
+			lo.X, lo.Y = math.Inf(1), math.Inf(1)
+			hi.X, hi.Y = math.Inf(-1), math.Inf(-1)
+			for _, p := range sc.Dep.Points {
+				lo.X, lo.Y = math.Min(lo.X, p.X), math.Min(lo.Y, p.Y)
+				hi.X, hi.Y = math.Max(hi.X, p.X), math.Max(hi.Y, p.Y)
+			}
+			onCycle := func(p geom.Point) bool {
+				for _, v := range cyc {
+					if sc.Dep.Points[v] == p {
+						return true
+					}
+				}
+				return false
+			}
+			for _, p := range sc.Dep.Points {
+				if p.X == lo.X || p.X == hi.X || p.Y == lo.Y || p.Y == hi.Y {
+					if !onCycle(p) {
+						t.Errorf("%s: extreme point %v not on the outer cycle", sc.Name, p)
+					}
+				}
+			}
+		}
+	})
+}

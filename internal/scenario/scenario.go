@@ -1,0 +1,371 @@
+// Package scenario is the ground-truth engine of the test suite: a
+// catalogue of deterministic topologies whose coverage, connectivity and
+// confine-size properties are known in closed form, so the DCC pipeline
+// (graph build → schedule → verifier) can be checked against an
+// *independent* source of truth rather than against its own past output.
+//
+// Each generator emits a full dcc.Deployment together with an Oracle — the
+// closed-form expectations derived from the family's geometry (Tripathi et
+// al.: deterministic lattice deployments admit exact coverage thresholds):
+//
+//   - square lattice, spacing s:  covered ⇔ s ≤ √2·Rs,  τ* = 3 (s√2 ≤ Rc) or 4
+//   - triangular lattice:         covered ⇔ s ≤ √3·Rs,  τ* = 3
+//   - honeycomb lattice:          covered ⇔ s ≤ Rs,     τ* = 6 (s√3 > Rc) or 3
+//   - strip (thin square):        same cell math as the square lattice
+//   - annulus (obstacle ring):    covered ⇔ trapezoid circumradius ≤ Rs
+//   - masked lattice:             square lattice with an obstacle crater
+//   - hetero checkerboard:        covered ⇔ rBig ≥ √(s² + rSmall² − √2·s·rSmall)
+//
+// On top of the catalogue the package provides seeded point perturbation
+// (Displacements/Displace) for stability-margin sweeps in the spirit of
+// Hiraoka–Kusano: jitter every point by ε and find the smallest ε at which
+// a verdict flips.
+//
+// The package deliberately reuses the public entry points (dcc.Deployment,
+// ScheduleDCC, VerifyConfine) so oracle disagreements implicate the real
+// pipeline, not a test-only shadow of it.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dcc"
+	"dcc/internal/cover"
+	"dcc/internal/geom"
+	"dcc/internal/graph"
+)
+
+// Oracle holds the closed-form expected properties of a scenario. All
+// expectations refer to the *full* (unscheduled) deployment; the guarantee
+// tests combine them with Proposition 1 to constrain scheduled results.
+type Oracle struct {
+	// Connected is the closed-form connectivity verdict of the UDG.
+	Connected bool
+	// AchievableTau is the closed-form smallest confine size for which the
+	// boundary cycles are τ-partitionable (0 when the family's regime is
+	// disconnected or out of catalogue form).
+	AchievableTau int
+	// Covered reports whether the monitored region (the core area minus
+	// obstacle interiors) is fully sensing-covered.
+	Covered bool
+	// CoverageThreshold is the critical spacing s*: the family is covered
+	// exactly when its spacing is ≤ s* (for the hetero family the threshold
+	// is on rBig instead and this field holds the critical rBig).
+	CoverageThreshold float64
+	// HoleCenters are representative uncovered points, one or more per
+	// expected hole, all inside the monitored region. Empty when Covered.
+	HoleCenters []geom.Point
+	// HoleCount is the expected number of connected uncovered regions.
+	// Meaningful only when HoleCountExact is set; families whose hole
+	// regions have parameter-dependent connectivity publish centers only.
+	HoleCount int
+	// HoleCountExact marks families whose hole regions are provably
+	// disjoint, making HoleCount an exact expectation.
+	HoleCountExact bool
+}
+
+// Scenario is one deterministic topology with its ground truth.
+type Scenario struct {
+	// Name identifies the family and regime (e.g. "square/tau3/covered").
+	Name string
+	// Dep is the embedded deployment consumed by the DCC pipeline.
+	Dep *dcc.Deployment
+	// Spacing is the lattice constant s the oracle thresholds refer to.
+	Spacing float64
+	// Radii holds per-node sensing radii for heterogeneous scenarios
+	// (indexed by node ID); nil means the uniform Dep.Rs applies.
+	Radii []float64
+	// Oracle is the closed-form expectation set.
+	Oracle Oracle
+}
+
+// Resolution returns the sampling cell size used by Coverage: an eighth of
+// the smallest sensing radius, fine enough that every oracle hole blob
+// spans multiple sample cells in catalogue regimes.
+func (sc *Scenario) Resolution() float64 {
+	rs := sc.Dep.Rs
+	for _, r := range sc.Radii {
+		if r > 0 && r < rs {
+			rs = r
+		}
+	}
+	return rs / 8
+}
+
+// Coverage measures ground-truth sensing coverage of the given node set
+// (nil means the full deployment) over the core area, honouring per-node
+// radii and exempting obstacle interiors, exactly like dcc's
+// CoverageReport but generalized to heterogeneous sensing.
+func (sc *Scenario) Coverage(final *graph.Graph) cover.Report {
+	if final == nil {
+		final = sc.Dep.G
+	}
+	if sc.Radii == nil {
+		return sc.Dep.CoverageReport(final, sc.Resolution())
+	}
+	var active []geom.Point
+	var radii []float64
+	for _, v := range final.Nodes() {
+		if int(v) < len(sc.Dep.Points) {
+			active = append(active, sc.Dep.Points[v])
+			radii = append(radii, sc.Radii[v])
+		}
+	}
+	rep := cover.AnalyzeRadii(active, radii, sc.Dep.CoreArea(), sc.Resolution())
+	return dropObstacleHoles(rep, sc.Dep.Obstacles)
+}
+
+// dropObstacleHoles removes holes lying entirely inside obstacle regions
+// (their interiors are not part of the monitored area).
+func dropObstacleHoles(rep cover.Report, obstacles []geom.Circle) cover.Report {
+	if len(obstacles) == 0 {
+		return rep
+	}
+	kept := rep.Holes[:0]
+	for _, h := range rep.Holes {
+		outside := false
+		for _, c := range h.Cells {
+			if !insideAny(c, obstacles) {
+				outside = true
+				break
+			}
+		}
+		if outside {
+			kept = append(kept, h)
+		}
+	}
+	rep.Holes = kept
+	return rep
+}
+
+func insideAny(p geom.Point, obstacles []geom.Circle) bool {
+	for _, ob := range obstacles {
+		if geom.Dist(p, ob.Center) < ob.R {
+			return true
+		}
+	}
+	return false
+}
+
+// PointCovered evaluates coverage of a single point directly from the node
+// positions — the sampling-free ground truth used to validate oracle hole
+// centers independent of grid resolution.
+func (sc *Scenario) PointCovered(p geom.Point) bool {
+	for i, q := range sc.Dep.Points {
+		rs := sc.Dep.Rs
+		if sc.Radii != nil {
+			rs = sc.Radii[i]
+		}
+		if geom.Dist(p, q) <= rs {
+			return true
+		}
+	}
+	return false
+}
+
+// CriterionOK evaluates the τ-confine criterion on the full (unscheduled)
+// graph — the verdict whose stability the perturbation sweep measures. A
+// perturbation that breaks a boundary-cycle edge makes the verdict
+// undefined; callers should treat an error as a flip.
+func (sc *Scenario) CriterionOK(tau int) (bool, error) {
+	return sc.Dep.VerifyConfine(sc.Dep.G, tau)
+}
+
+// Displacements draws one unit displacement direction per node. Drawing
+// the field once and scaling it by ε (Displace) makes the flip threshold
+// of a perturbation sweep well-defined per seed: growing ε moves every
+// node further along a fixed ray instead of resampling the geometry.
+func (sc *Scenario) Displacements(rng *rand.Rand) []geom.Point {
+	out := make([]geom.Point, len(sc.Dep.Points))
+	for i := range out {
+		a := 2 * math.Pi * rng.Float64()
+		out[i] = geom.Point{X: math.Cos(a), Y: math.Sin(a)}
+	}
+	return out
+}
+
+// Displace returns a copy of the scenario with every point moved by
+// eps·disp[i] and the connectivity graph rebuilt under the same link
+// radius. Boundary cycles and node IDs are preserved; the oracle still
+// describes the unperturbed deployment. The returned scenario may be
+// structurally invalid (jitter can break boundary-cycle links) — its
+// CriterionOK then reports the error.
+func (sc *Scenario) Displace(disp []geom.Point, eps float64) *Scenario {
+	if len(disp) != len(sc.Dep.Points) {
+		panic(fmt.Sprintf("scenario: %d displacements for %d points", len(disp), len(sc.Dep.Points)))
+	}
+	pts := make([]geom.Point, len(sc.Dep.Points))
+	for i, p := range sc.Dep.Points {
+		pts[i] = geom.Point{X: p.X + eps*disp[i].X, Y: p.Y + eps*disp[i].Y}
+	}
+	dep := *sc.Dep
+	dep.Points = pts
+	dep.G = geom.UDG(pts, sc.Dep.Rc)
+	out := *sc
+	out.Name = sc.Name + "/displaced"
+	out.Dep = &dep
+	return &out
+}
+
+// assemble builds the Scenario around generated points: UDG graph, boundary
+// bookkeeping, deployment struct, and (when the regime is connected) a
+// structural validation of the boundary cycles against the graph.
+func assemble(name string, pts []geom.Point, spacing, rc, rs float64, target geom.Rect,
+	outer []graph.NodeID, inner [][]graph.NodeID, obstacles []geom.Circle,
+	radii []float64, o Oracle) (*Scenario, error) {
+
+	g := geom.UDG(pts, rc)
+	var bnodes []graph.NodeID
+	bset := make(map[graph.NodeID]bool, len(outer))
+	for _, v := range outer {
+		bset[v] = true
+	}
+	for _, cyc := range inner {
+		for _, v := range cyc {
+			bset[v] = true
+		}
+	}
+	for _, v := range g.Nodes() {
+		if bset[v] {
+			bnodes = append(bnodes, v)
+		}
+	}
+	dep := &dcc.Deployment{
+		Points:        pts,
+		G:             g,
+		Target:        target,
+		Rc:            rc,
+		Rs:            rs,
+		BoundaryNodes: bnodes,
+		OuterCycle:    outer,
+		InnerCycles:   inner,
+		Obstacles:     obstacles,
+	}
+	sc := &Scenario{Name: name, Dep: dep, Spacing: spacing, Radii: radii, Oracle: o}
+	if o.Connected {
+		if err := dep.Network().Validate(); err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", name, err)
+		}
+	}
+	return sc, nil
+}
+
+// outerFaceCycle traces the outer boundary of an embedded planar graph by
+// face tracing: starting at the bottom-most (then left-most) vertex, at
+// each vertex the next edge is the first one clockwise from the reversed
+// incoming edge — the rule that keeps the face on the walker's left, which
+// for this start vertex and a virtual eastward incoming edge is the outer
+// face (angle ties broken toward the nearer neighbor, so collinear
+// long-range links never skip a perimeter vertex). Every catalogue lattice
+// is 2-connected, making the walk a simple cycle; a repeated vertex aborts
+// with an error rather than emitting a pinched boundary.
+//
+// The rule is only sound on plane (non-crossing) embeddings — callers in
+// dense regimes trace on the unit-distance subgraph, whose edges all exist
+// in the full graph.
+func outerFaceCycle(pts []geom.Point, g *graph.Graph) ([]graph.NodeID, error) {
+	if g.NumNodes() < 3 {
+		return nil, errors.New("scenario: outer face of a graph with <3 nodes")
+	}
+	start := g.Nodes()[0]
+	for _, v := range g.Nodes() {
+		p, q := pts[v], pts[start]
+		if p.Y < q.Y || (p.Y == q.Y && p.X < q.X) {
+			start = v
+		}
+	}
+	// Virtual incoming direction +x: reversing it puts "back" at west, and
+	// the first edge clockwise from west at the bottom-most vertex starts
+	// the clockwise perimeter walk (up the left side of the hull).
+	cycle := []graph.NodeID{start}
+	onCycle := map[graph.NodeID]bool{start: true}
+	prevDir := geom.Point{X: 1, Y: 0}
+	v := start
+	for {
+		next, ok := clockwiseNext(pts, g, v, prevDir)
+		if !ok {
+			return nil, fmt.Errorf("scenario: outer-face walk stuck at node %d", v)
+		}
+		if next == start {
+			break
+		}
+		if onCycle[next] {
+			return nil, fmt.Errorf("scenario: outer face revisits node %d (graph not 2-connected)", next)
+		}
+		onCycle[next] = true
+		cycle = append(cycle, next)
+		prevDir = geom.Point{X: pts[next].X - pts[v].X, Y: pts[next].Y - pts[v].Y}
+		v = next
+		if len(cycle) > g.NumNodes() {
+			return nil, errors.New("scenario: outer-face walk did not close")
+		}
+	}
+	if len(cycle) < 3 {
+		return nil, errors.New("scenario: outer face shorter than a 3-cycle")
+	}
+	return cycle, nil
+}
+
+// clockwiseNext picks the first neighbor of v encountered rotating
+// clockwise from the reversed incoming direction, breaking exact-angle
+// ties by distance (nearest first). The reverse edge itself sits at angle
+// 2π, so the walk only backtracks at a degree-1 vertex.
+func clockwiseNext(pts []geom.Point, g *graph.Graph, v graph.NodeID, inDir geom.Point) (graph.NodeID, bool) {
+	back := math.Atan2(-inDir.Y, -inDir.X)
+	best := graph.NodeID(0)
+	bestAngle := math.Inf(1)
+	bestDist := math.Inf(1)
+	found := false
+	for _, w := range g.Neighbors(v) {
+		d := geom.Point{X: pts[w].X - pts[v].X, Y: pts[w].Y - pts[v].Y}
+		a := back - math.Atan2(d.Y, d.X)
+		for a <= 1e-12 { // angle strictly in (0, 2π]: never walk straight back unless forced
+			a += 2 * math.Pi
+		}
+		for a > 2*math.Pi+1e-12 {
+			a -= 2 * math.Pi
+		}
+		dist := math.Hypot(d.X, d.Y)
+		if a < bestAngle-1e-12 || (math.Abs(a-bestAngle) <= 1e-12 && dist < bestDist) {
+			best, bestAngle, bestDist, found = w, a, dist, true
+		}
+	}
+	return best, found
+}
+
+// circumradius returns the circumradius of the triangle abc (∞ for
+// degenerate triples).
+func circumradius(a, b, c geom.Point) float64 {
+	la, lb, lc := geom.Dist(b, c), geom.Dist(a, c), geom.Dist(a, b)
+	area2 := math.Abs((b.X-a.X)*(c.Y-a.Y) - (c.X-a.X)*(b.Y-a.Y)) // 2·area
+	if area2 < 1e-14 {
+		return math.Inf(1)
+	}
+	return la * lb * lc / (2 * area2)
+}
+
+// circumcenter returns the circumcenter of the triangle abc.
+func circumcenter(a, b, c geom.Point) geom.Point {
+	ax, ay := b.X-a.X, b.Y-a.Y
+	bx, by := c.X-a.X, c.Y-a.Y
+	d := 2 * (ax*by - ay*bx)
+	ux := (by*(ax*ax+ay*ay) - ay*(bx*bx+by*by)) / d
+	uy := (ax*(bx*bx+by*by) - bx*(ax*ax+ay*ay)) / d
+	return geom.Point{X: a.X + ux, Y: a.Y + uy}
+}
+
+// sortedCenters orders hole centers lexicographically so oracle output is
+// independent of generator enumeration order.
+func sortedCenters(cs []geom.Point) []geom.Point {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Y != cs[j].Y {
+			return cs[i].Y < cs[j].Y
+		}
+		return cs[i].X < cs[j].X
+	})
+	return cs
+}

@@ -41,6 +41,39 @@ echo '== cache consistency smoke (deep assertions)'
 go test -tags dccdebug -run '^TestCache|^FuzzCacheConsistency$' ./internal/vpt
 go test -tags dccdebug -run 'MatchesReference$' ./internal/core
 
+echo '== scenario oracle smoke (-short)'
+# The ground-truth catalogue against the pipeline: closed-form oracles,
+# threshold crossings, and the DCC-vs-HGC differential (DESIGN.md §12).
+go test -short -run '^TestCatalogueOracles$|^TestThresholdCrossing$|^TestRipsRelaxation$|^TestDifferentialDCCvsHGC$' ./internal/scenario
+
+echo '== coverage floor'
+# Per-package statement coverage against the committed floors. The -short
+# run keeps this pass cheap; floors live in scripts/coverage_floor.txt.
+cover_out=$(go test -short -cover ./...)
+echo "$cover_out" | awk '
+    NR == FNR {
+        if ($0 !~ /^#/ && NF == 2) floor[$1] = $2
+        next
+    }
+    $1 == "ok" {
+        pct = ""
+        for (i = 1; i <= NF; i++) if ($i ~ /%$/) { pct = $i; sub(/%/, "", pct) }
+        if (pct == "") next
+        seen[$2] = 1
+        if ($2 in floor && pct + 0 < floor[$2] + 0) {
+            printf "coverage: %s at %s%% is below the committed floor %s%%\n", $2, pct, floor[$2]
+            fail = 1
+        }
+    }
+    END {
+        for (p in floor) if (!(p in seen)) {
+            printf "coverage: floor lists %s but go test reported no coverage for it\n", p
+            fail = 1
+        }
+        exit fail
+    }
+' scripts/coverage_floor.txt -
+
 echo '== runner race (repeated)'
 go test -race -count=2 ./internal/runner
 
@@ -55,5 +88,6 @@ go test -run=NONE -fuzz='^FuzzVectorXOR$' -fuzztime="$FUZZTIME" ./internal/bitve
 go test -run=NONE -fuzz='^FuzzRank$' -fuzztime="$FUZZTIME" ./internal/bitvec
 go test -run=NONE -fuzz='^FuzzFrameRoundTrip$' -fuzztime="$FUZZTIME" ./internal/dist
 go test -run=NONE -fuzz='^FuzzCacheConsistency$' -fuzztime="$FUZZTIME" ./internal/vpt
+go test -run=NONE -fuzz='^FuzzScenarioDeterminism$' -fuzztime="$FUZZTIME" ./internal/scenario
 
 echo 'check.sh: all gates passed'
