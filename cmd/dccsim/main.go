@@ -31,7 +31,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dccsim", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "all", "figure to regenerate: 1..7, 'engines', 'loss', 'reliability', 'rotation', 'scenarios', 'stability', comma-separated, or 'all'")
+		fig     = fs.String("fig", "all", "figure to regenerate: 1..7, 'engines', 'loss', 'reliability', 'rotation', 'scenarios', 'stability', 'streaming', comma-separated, or 'all'")
 		seed    = fs.Int64("seed", 1, "random seed")
 		runs    = fs.Int("runs", 0, "random repetitions (0 = preset default)")
 		nodes   = fs.Int("nodes", 0, "deployment size (0 = preset default)")
@@ -79,6 +79,19 @@ func run(args []string) error {
 		{"quasiudg", func() error { _, err := experiments.AblationQuasiUDG(w, cfg); return err }},
 		{"scenarios", func() error { _, err := experiments.ScenarioOracles(w, cfg); return err }},
 		{"stability", func() error { _, err := experiments.ScenarioStability(w, cfg); return err }},
+		{"streaming", func() error {
+			if _, err := experiments.Streaming(w, cfg); err != nil {
+				return err
+			}
+			benchNodes, benchEvents := 300, 400
+			if *full {
+				benchNodes, benchEvents = 1000, 2000
+			}
+			if *nodes > 0 {
+				benchNodes = *nodes
+			}
+			return streamingThroughput(w, *seed, benchNodes, benchEvents)
+		}},
 	}
 	ran := 0
 	for _, r := range runners {

@@ -21,6 +21,14 @@ func TestRunFigure1(t *testing.T) {
 	}
 }
 
+func TestRunStreaming(t *testing.T) {
+	// The streaming figure end to end at a tiny scale: the deterministic
+	// convergence/recovery half plus the wall-clock replay driver.
+	if err := run([]string{"-fig", "streaming", "-nodes", "60", "-runs", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunWorkersFlag(t *testing.T) {
 	// -workers reaches the engine; any value must be accepted and produce
 	// the same figure (byte equivalence is covered in internal/experiments).

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"dcc"
+	"dcc/internal/core"
+	"dcc/internal/geom"
+	"dcc/internal/graph"
+	"dcc/internal/stream"
+)
+
+// streamingThroughput is the wall-clock half of the streaming figure (the
+// convergence/recovery half is experiments.Streaming, which is
+// deterministic and timing-free). It replays one mutation stream twice:
+//
+//   - stepped: every event is applied and the cover re-elected immediately
+//     — the per-event update-latency profile (p99 reported);
+//   - batched: events are ingested under the engine's coalescing
+//     backpressure with a bounded-staleness consumer polling every 50
+//     events — the sustained events/sec figure.
+//
+// A from-scratch canonical schedule of the final topology is timed as the
+// baseline an operator would pay per poll without incremental maintenance.
+// The [stream-bench] line is machine-readable; scripts/bench.sh turns it
+// into BENCH_stream.json.
+func streamingThroughput(w io.Writer, seed int64, nodes, events int) error {
+	dep, err := dcc.Deploy(dcc.DeployOptions{
+		Nodes: nodes, AvgDegree: 25, Gamma: math.Sqrt(3), Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	net := dep.Network()
+	pos := make(map[graph.NodeID]geom.Point, len(dep.Points))
+	for i, p := range dep.Points {
+		pos[graph.NodeID(i)] = p
+	}
+	cfg := stream.Config{Tau: 4, Seed: seed, Radius: dep.Rc, Positions: pos}
+
+	// Pre-generate the stream so synthesis cost stays out of the timings.
+	mut := stream.NewMutator(net, cfg, seed+1)
+	evs := make([]stream.Event, events)
+	for i := range evs {
+		evs[i] = mut.Next()
+	}
+
+	// Stepped replay: per-event latency including re-election.
+	eng, err := stream.New(net, cfg)
+	if err != nil {
+		return err
+	}
+	lat := make([]time.Duration, 0, events)
+	for _, ev := range evs {
+		t0 := time.Now()
+		if err := eng.Step(ev); err != nil {
+			return fmt.Errorf("streaming bench: %w", err)
+		}
+		eng.Cover()
+		lat = append(lat, time.Since(t0))
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p50 := lat[len(lat)/2]
+	p99 := lat[len(lat)*99/100]
+
+	// Batched replay: sustained ingest with a bounded-staleness consumer.
+	eng2, err := stream.New(net, cfg)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	for i, ev := range evs {
+		if err := eng2.Ingest(ev); err != nil {
+			return fmt.Errorf("streaming bench: %w", err)
+		}
+		if (i+1)%50 == 0 {
+			eng2.Cover()
+		}
+	}
+	eng2.Cover()
+	batched := time.Since(t0)
+	perSec := float64(events) / batched.Seconds()
+
+	// Baseline: one from-scratch canonical schedule of the final topology —
+	// the per-poll cost without incremental maintenance.
+	final := eng2.MaterializedNetwork()
+	t0 = time.Now()
+	if _, err := core.Schedule(final, core.Options{Tau: 4, Seed: seed, Mode: core.Canonical}); err != nil {
+		return err
+	}
+	batch := time.Since(t0)
+
+	st := eng2.Stats()
+	fmt.Fprintf(w, "  throughput: %.0f events/sec sustained (batched, coalesced %d of %d)\n",
+		perSec, st.Coalesced, events)
+	fmt.Fprintf(w, "  per-event latency (stepped, with re-election): p50 %v  p99 %v\n",
+		p50.Round(time.Microsecond), p99.Round(time.Microsecond))
+	fmt.Fprintf(w, "  from-scratch canonical schedule of the final topology: %v\n",
+		batch.Round(time.Microsecond))
+	fmt.Fprintf(w, "  [stream-bench] events_per_sec=%.0f p50_event_us=%.0f p99_event_us=%.0f batch_schedule_us=%.0f events=%d nodes=%d\n",
+		perSec,
+		float64(p50.Nanoseconds())/1e3,
+		float64(p99.Nanoseconds())/1e3,
+		float64(batch.Nanoseconds())/1e3,
+		events, nodes)
+	return nil
+}

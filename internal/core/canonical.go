@@ -1,0 +1,116 @@
+package core
+
+import (
+	"container/heap"
+
+	"dcc/internal/graph"
+	"dcc/internal/runner"
+	"dcc/internal/vpt"
+)
+
+// The canonical scheduling engine. Sequential and Parallel shuffle their
+// work orders from a live rand.Rand, so two runs over the same topology
+// agree only if they replay the same deletion history — which a streaming
+// engine that crashes, recovers, and batches events cannot promise.
+// Canonical removes the history: the deletion order is a fixed
+// priority-queue order whose per-node priorities are a pure function of
+// (seed, node ID), making the kept set a pure function of the topology.
+// That is the property the streaming layer's convergence contract stands
+// on (DESIGN.md §13): any two paths to the same materialized topology —
+// event replay, WAL recovery, from-scratch batch — elect byte-identical
+// covers.
+
+// streamCanonicalPriority is the DeriveSeed stream of the canonical
+// engine's per-node deletion priorities (the node ID rides in the run
+// slot). The value spells "cano" in ASCII and stays far above the
+// experiment stream table in internal/experiments/streams.go, next to
+// streamBiasedShuffle ("bias"); TestStreamRegistry pins the separation.
+const streamCanonicalPriority uint64 = 0x63616e6f
+
+// CanonicalPriority returns the deletion priority of v under base seed
+// seed: lower priorities are tested (and therefore deleted) first, ties
+// cannot occur across distinct nodes of one run because the pair (priority,
+// ID) is totally ordered. Exported so the streaming engine's memoized
+// re-election (internal/stream) provably replays the same order.
+func CanonicalPriority(seed int64, v graph.NodeID) uint64 {
+	return uint64(runner.DeriveSeed(seed, streamCanonicalPriority, int(v)))
+}
+
+// prioItem is one pending deletability test of the canonical engine.
+type prioItem struct {
+	prio uint64
+	v    graph.NodeID
+}
+
+// prioQueue is a min-heap on (priority, ID).
+type prioQueue []prioItem
+
+func (q prioQueue) Len() int { return len(q) }
+func (q prioQueue) Less(i, j int) bool {
+	if q[i].prio != q[j].prio {
+		return q[i].prio < q[j].prio
+	}
+	return q[i].v < q[j].v
+}
+func (q prioQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *prioQueue) Push(x any)   { *q = append(*q, x.(prioItem)) }
+func (q *prioQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// CanonicalElect runs the canonical greedy to fixpoint over cache: internal
+// nodes are tested in increasing (CanonicalPriority, ID) order, a deletable
+// node is committed immediately, and the dirtied survivors re-enter the
+// queue. test supplies the deletability verdict of a node on the current
+// residual — cache.Deletable for the batch engine, the fingerprint-memoized
+// variant for the streaming engine — and MUST equal VertexDeletable on the
+// materialized live graph, or the fixpoint diverges from the canonical one.
+// Returns the deleted nodes in deletion order and the number of tests.
+//
+// The loop body is shared by both engines on purpose: the convergence
+// contract ("streaming state equals the batch schedule of the materialized
+// topology") then reduces to the equality of the two verdict functions,
+// which the dccdebug cross-checks and the differential suite verify.
+func CanonicalElect(net Network, seed int64, cache *vpt.Cache, test func(v graph.NodeID) bool) (deleted []graph.NodeID, tests int) {
+	internal := net.InternalNodes()
+	q := make(prioQueue, 0, len(internal))
+	pending := make(map[graph.NodeID]bool, len(internal))
+	for _, v := range internal {
+		q = append(q, prioItem{prio: CanonicalPriority(seed, v), v: v})
+		pending[v] = true
+	}
+	heap.Init(&q)
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(prioItem)
+		if !pending[it.v] {
+			continue // stale entry: already tested since it was last dirtied
+		}
+		pending[it.v] = false
+		if !cache.Alive(it.v) {
+			continue
+		}
+		tests++
+		if !test(it.v) {
+			continue
+		}
+		deleted = append(deleted, it.v)
+		for _, w := range cache.Commit([]graph.NodeID{it.v}) {
+			if !net.Boundary[w] && !pending[w] {
+				pending[w] = true
+				heap.Push(&q, prioItem{prio: CanonicalPriority(seed, w), v: w})
+			}
+		}
+	}
+	return deleted, tests
+}
+
+func scheduleCanonical(net Network, opts Options) (Result, error) {
+	cache := vpt.NewCache(net.G, opts.Tau)
+	deleted, tests := CanonicalElect(net, opts.Seed, cache, cache.Deletable)
+	stats := Stats{Rounds: 1, Tests: tests}
+	return finishResult(net, cache.LiveGraph(), deleted, stats), nil
+}

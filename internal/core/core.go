@@ -153,6 +153,11 @@ const (
 	// Parallel deletes an m-hop maximal independent set of candidates per
 	// round — the structure of the paper's distributed algorithm.
 	Parallel
+	// Canonical deletes in a fixed priority-queue order derived from
+	// (Seed, node ID) alone, making the kept set a pure function of the
+	// topology — the replay-independent mode the streaming engine's
+	// convergence contract is stated against (see canonical.go).
+	Canonical
 )
 
 // Options configures scheduling.
@@ -216,6 +221,8 @@ func Schedule(net Network, opts Options) (Result, error) {
 		return scheduleSequential(net, opts)
 	case Parallel:
 		return scheduleParallel(net, opts)
+	case Canonical:
+		return scheduleCanonical(net, opts)
 	default:
 		return Result{}, fmt.Errorf("core: unknown mode %d", opts.Mode)
 	}

@@ -46,6 +46,7 @@ func equivCases() []struct {
 		{"AblationRotation", ablCfg, func(w io.Writer, cfg Config) (any, error) { return AblationRotation(w, cfg) }},
 		{"ScenarioOracles", figCfg, func(w io.Writer, cfg Config) (any, error) { return ScenarioOracles(w, cfg) }},
 		{"ScenarioStability", figCfg, func(w io.Writer, cfg Config) (any, error) { return ScenarioStability(w, cfg) }},
+		{"Streaming", figCfg, func(w io.Writer, cfg Config) (any, error) { return Streaming(w, cfg) }},
 	}
 }
 

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"dcc/internal/core"
+	"dcc/internal/geom"
+	"dcc/internal/graph"
+	"dcc/internal/runner"
+	"dcc/internal/stream"
+)
+
+// streamingTau is the confine size of the streaming replay experiment.
+// deploy() resamples until τ=3 is achievable, so τ=4 is always legal and
+// gives the verdict memo a 2-hop neighborhood to work with.
+const streamingTau = 4
+
+// StreamingResult summarizes the event-sourced replay experiment: every
+// run drives a mutation stream through the streaming engine (WAL
+// attached), checks the cover against the batch canonical schedule of an
+// independently maintained shadow topology at fixed checkpoints, then
+// crashes the engine at a random WAL offset and re-converges via
+// recovery plus producer redelivery.
+type StreamingResult struct {
+	Runs   int
+	Events int
+	// Checkpoints is the number of convergence checks per run;
+	// Converged counts matches across all runs (success ⇒ Runs·Checkpoints).
+	Checkpoints int
+	Converged   int
+	// Recovered counts crash-restart re-convergences (success ⇒ Runs).
+	Recovered int
+	// Per-run averages of the engine's own accounting.
+	AvgApplied      float64
+	AvgCoalesced    float64
+	AvgRebuilds     float64
+	AvgFastRestores float64
+	AvgElections    float64
+	// MemoHitRate is hits/(hits+misses) summed over all runs.
+	MemoHitRate float64
+}
+
+// streamingRun is one Monte-Carlo run's contribution.
+type streamingRun struct {
+	converged int
+	recovered int
+	st        stream.Stats
+}
+
+// Streaming reproduces the dynamic-network claim of §V on the streaming
+// engine: under continuous joins, departures, crashes and mobility the
+// incrementally maintained cover stays identical to the from-scratch
+// canonical schedule, and a crash at any WAL byte recovers to the same
+// state. Runs are independent Monte-Carlo jobs on the worker pool.
+func Streaming(w io.Writer, cfg Config) (StreamingResult, error) {
+	cfg = cfg.withDefaults()
+	events := 120
+	if cfg.Quick {
+		events = 40
+	}
+	const checkpoints = 4
+	out := StreamingResult{Runs: cfg.Runs, Events: events, Checkpoints: checkpoints}
+
+	perRun, err := runner.Map(cfg.Runs, cfg.Workers, func(run int) (streamingRun, error) {
+		dep, err := cfg.deploy(runner.DeriveSeed(cfg.Seed, streamStreamEvents, run), math.Sqrt(3))
+		if err != nil {
+			return streamingRun{}, err
+		}
+		net := dep.Network()
+		pos := make(map[graph.NodeID]geom.Point, len(dep.Points))
+		for i, p := range dep.Points {
+			pos[graph.NodeID(i)] = p
+		}
+		chaosSeed := runner.DeriveSeed(cfg.Seed, streamStreamChaos, run)
+		var wal bytes.Buffer
+		scfg := stream.Config{
+			Tau: streamingTau, Seed: chaosSeed, Radius: dep.Rc,
+			Positions: pos, WAL: &wal,
+		}
+		eng, err := stream.New(net, scfg)
+		if err != nil {
+			return streamingRun{}, err
+		}
+		mut := stream.NewMutator(net, scfg, runner.DeriveSeed(cfg.Seed, streamStreamEvents, run)+1)
+
+		var r streamingRun
+		all := make([]stream.Event, 0, events)
+		every := events / checkpoints
+		for i := 0; i < events; i++ {
+			ev := mut.Next()
+			all = append(all, ev)
+			if err := eng.Ingest(ev); err != nil {
+				return streamingRun{}, fmt.Errorf("run %d event %d (%v): %w", run, i, ev, err)
+			}
+			if (i+1)%every != 0 {
+				continue
+			}
+			shadow := mut.Network(net)
+			res, err := core.Schedule(shadow, core.Options{
+				Tau: streamingTau, Seed: chaosSeed, Mode: core.Canonical,
+			})
+			if err != nil {
+				return streamingRun{}, fmt.Errorf("run %d: batch schedule of shadow topology: %w", run, err)
+			}
+			want := stream.CoverFingerprintOf(streamingTau, chaosSeed, mut.Nodes(), mut.Edges(), res.KeptInternal)
+			if eng.CoverFingerprint() != want {
+				return streamingRun{}, fmt.Errorf(
+					"run %d: streaming cover diverged from the batch canonical schedule after %d events", run, i+1)
+			}
+			r.converged++
+		}
+
+		// Crash at a random WAL byte, recover, redeliver, re-converge.
+		image := wal.Bytes()
+		rng := rand.New(rand.NewSource(chaosSeed))
+		cut := 1 + rng.Intn(len(image))
+		rcfg := scfg
+		rcfg.WAL = nil
+		rec, info, err := stream.Recover(net, rcfg, nil, bytes.NewReader(image[:cut]))
+		if err != nil {
+			return streamingRun{}, fmt.Errorf("run %d: recovery at WAL byte %d: %w", run, cut, err)
+		}
+		if info.ValidWALBytes > int64(cut) {
+			return streamingRun{}, fmt.Errorf("run %d: recovery claims %d valid bytes from a %d-byte prefix",
+				run, info.ValidWALBytes, cut)
+		}
+		for _, ev := range all {
+			if ev.Seq <= rec.Watermark() {
+				continue
+			}
+			if err := rec.Step(ev); err != nil {
+				return streamingRun{}, fmt.Errorf("run %d: redelivery of %v: %w", run, ev, err)
+			}
+		}
+		if rec.StateFingerprint() != eng.StateFingerprint() || rec.CoverFingerprint() != eng.CoverFingerprint() {
+			return streamingRun{}, fmt.Errorf("run %d: crash-restart at WAL byte %d did not re-converge", run, cut)
+		}
+		r.recovered++
+		r.st = eng.Stats()
+		return r, nil
+	})
+	if err != nil {
+		return StreamingResult{}, err
+	}
+
+	var hits, misses float64
+	for _, r := range perRun {
+		out.Converged += r.converged
+		out.Recovered += r.recovered
+		out.AvgApplied += float64(r.st.Applied)
+		out.AvgCoalesced += float64(r.st.Coalesced)
+		out.AvgRebuilds += float64(r.st.Rebuilds)
+		out.AvgFastRestores += float64(r.st.FastRestores)
+		out.AvgElections += float64(r.st.Elections)
+		hits += float64(r.st.MemoHits)
+		misses += float64(r.st.MemoMisses)
+	}
+	n := float64(cfg.Runs)
+	out.AvgApplied /= n
+	out.AvgCoalesced /= n
+	out.AvgRebuilds /= n
+	out.AvgFastRestores /= n
+	out.AvgElections /= n
+	if hits+misses > 0 {
+		out.MemoHitRate = hits / (hits + misses)
+	}
+
+	fmt.Fprintf(w, "Streaming — event-sourced coverage under churn (n=%d, %d runs × %d events, τ=%d)\n",
+		cfg.Nodes, cfg.Runs, events, streamingTau)
+	fmt.Fprintf(w, "  convergence checkpoints matched: %d/%d\n", out.Converged, cfg.Runs*checkpoints)
+	fmt.Fprintf(w, "  crash-restart re-convergences:   %d/%d\n", out.Recovered, cfg.Runs)
+	fmt.Fprintf(w, "  avg per run: applied %.1f  coalesced %.1f  rebuilds %.1f  fast restores %.1f  elections %.1f\n",
+		out.AvgApplied, out.AvgCoalesced, out.AvgRebuilds, out.AvgFastRestores, out.AvgElections)
+	fmt.Fprintf(w, "  verdict-memo hit rate: %.2f\n", out.MemoHitRate)
+	fmt.Fprintf(w, "  streaming cover == batch canonical schedule at every checkpoint and after every crash\n")
+	return out, nil
+}

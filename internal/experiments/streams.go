@@ -12,9 +12,10 @@ package experiments
 // (TestSeedDerivationDisjoint checks all of them for Runs ≤ 10000).
 //
 // Values are iota-assigned, so uniqueness inside this block is structural;
-// the one stream constant living outside this package
-// (core.streamBiasedShuffle = 0x62696173) is far above this range by
-// construction, and TestStreamRegistry pins the ceiling.
+// the stream constants living outside this package
+// (core.streamBiasedShuffle = 0x62696173 and core.streamCanonicalPriority
+// = 0x63616e6f) are far above this range by construction, and
+// TestStreamRegistry pins the ceiling at the lower of the two.
 const (
 	streamFig2Deploy uint64 = iota + 1
 	streamFig2Schedule
@@ -35,6 +36,8 @@ const (
 	streamReliabilitySchedule
 	streamScenarioSchedule
 	streamStabilityJitter
+	streamStreamEvents // streaming replay: deployment + Mutator event randomness
+	streamStreamChaos  // streaming replay: engine/schedule seed + crash offsets
 )
 
 // seedStreams names every stream above for the disjointness and registry
@@ -60,4 +63,6 @@ var seedStreams = map[string]uint64{
 	"reliability-schedule": streamReliabilitySchedule,
 	"scenario-schedule":    streamScenarioSchedule,
 	"stability-jitter":     streamStabilityJitter,
+	"stream-events":        streamStreamEvents,
+	"stream-chaos":         streamStreamChaos,
 }

@@ -9,9 +9,10 @@ import (
 	"unicode"
 )
 
-// streamBiasedShuffleValue mirrors core.streamBiasedShuffle, the one stream
-// constant living outside this registry (unexported there). The registry
-// must stay far below it.
+// streamBiasedShuffleValue mirrors core.streamBiasedShuffle, the lowest
+// stream constant living outside this registry (unexported there; the
+// other, core.streamCanonicalPriority = 0x63616e6f, sits above it). The
+// registry must stay far below both.
 const streamBiasedShuffleValue uint64 = 0x62696173
 
 // declaredStreams parses streams.go and returns the stream constant names

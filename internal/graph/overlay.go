@@ -8,9 +8,10 @@ package graph
 // a time, and rebuilding a Graph per round was the dominant allocation
 // cost of the hot loop.
 //
-// A DeleteView never resurrects vertices; Materialize produces a real
-// Graph of the live remainder (structurally identical to
-// Base().DeleteVertices(everything deleted so far)).
+// Deletion is reversible: Restore revives a dead vertex in O(1), the path
+// the streaming engine's node-rejoin events take (internal/stream).
+// Materialize produces a real Graph of the live remainder (structurally
+// identical to Base().DeleteVertices(everything currently dead)).
 //
 // The zero value is not usable; construct with NewDeleteView. A DeleteView
 // is not safe for concurrent mutation; concurrent read-only queries (with
@@ -47,6 +48,20 @@ func (d *DeleteView) Delete(v NodeID) bool {
 	}
 	d.gone[i] = true
 	d.numGone++
+	return true
+}
+
+// Restore marks a dead vertex live again and reports whether it was dead.
+// Absent or already-live vertices are a no-op. The revived vertex rejoins
+// with every base-graph edge whose other endpoint is live — Restore is the
+// exact inverse of Delete.
+func (d *DeleteView) Restore(v NodeID) bool {
+	i, ok := d.g.index(v)
+	if !ok || !d.gone[i] {
+		return false
+	}
+	d.gone[i] = false
+	d.numGone--
 	return true
 }
 
@@ -171,6 +186,68 @@ func (d *DeleteView) ExtractNeighborhood(v NodeID, k int, s *Scratch) (*Graph, [
 		}
 	}
 	return sub, direct
+}
+
+// FNV-1a 64-bit parameters for NeighborhoodFingerprint.
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x1099511628211
+)
+
+// fnvMix folds one 64-bit word into an FNV-1a hash, byte by byte so the
+// diffusion matches the reference function.
+func fnvMix(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime64
+		x >>= 8
+	}
+	return h
+}
+
+// NeighborhoodFingerprint hashes the structure the deletability verdict of
+// v depends on — Γ^k(v) plus v's own live adjacency: the live vertices
+// within k hops of v in increasing ID order, and for each of them (v
+// included, v first) its live adjacency restricted to the ball. Everything
+// is hashed over node IDs, never base indices, so fingerprints are
+// comparable across views over structurally different base graphs: two
+// views agree on the fingerprint iff v's k-hop neighbourhood is identical
+// as a labelled graph (modulo 64-bit FNV-1a collisions). Returns 0 when v
+// is dead or absent — 0 is reserved and never produced for a live vertex.
+//
+// This is the memo key of the streaming engine's verdict cache
+// (internal/stream): a cover re-election may rebuild the base CSR many
+// times, but a vertex whose fingerprint is unchanged provably has an
+// unchanged verdict.
+func (d *DeleteView) NeighborhoodFingerprint(v NodeID, k int, s *Scratch) uint64 {
+	vi, ok := d.g.index(v)
+	if !ok || d.gone[vi] {
+		return 0
+	}
+	// ballIdx stamps every visited vertex (vi included) with the current
+	// epoch; the stamps stay valid until s is next used, which is exactly
+	// the membership test the restriction needs.
+	ball := d.ballIdx(vi, k, s)
+	ep := s.epoch
+	h := uint64(fnvOffset64)
+	h = fnvMix(h, uint64(len(ball))+1)
+	hashAdj := func(xi int32) uint64 {
+		h = fnvMix(h, uint64(d.g.ids[xi]))
+		for _, w := range d.g.adj[xi] {
+			if !d.gone[w] && s.stamp[w] == ep {
+				h = fnvMix(h, uint64(d.g.ids[w])^0x9e3779b97f4a7c15)
+			}
+		}
+		return fnvMix(h, 0xfe)
+	}
+	h = hashAdj(int32(vi))
+	for _, bi := range ball {
+		h = hashAdj(bi)
+	}
+	if h == 0 {
+		h = 1 // keep 0 as the dead/absent sentinel
+	}
+	return h
 }
 
 // Materialize builds the live remainder as a real Graph, structurally

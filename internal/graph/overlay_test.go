@@ -178,6 +178,151 @@ func TestDeleteViewQueries(t *testing.T) {
 	}
 }
 
+// TestDeleteViewRestore pins the re-insertion path node-join events take:
+// Restore is the exact inverse of Delete — after delete+restore every query
+// matches a never-deleted view — and revived vertices rejoin with all their
+// base edges to live endpoints.
+func TestDeleteViewRestore(t *testing.T) {
+	g := Grid(4, 4)
+	view := NewDeleteView(g)
+	if view.Restore(5) {
+		t.Fatal("Restore of a live vertex must report false")
+	}
+	if view.Restore(999) {
+		t.Fatal("Restore of an absent vertex must report false")
+	}
+	if !view.Delete(5) || !view.Restore(5) {
+		t.Fatal("delete+restore of a live vertex must both report true")
+	}
+	if view.Restore(5) {
+		t.Fatal("double Restore must report false")
+	}
+	if !view.Alive(5) || view.NumLive() != 16 {
+		t.Fatal("restored vertex must be live again")
+	}
+	if !reflect.DeepEqual(view.LiveNeighbors(5), g.Neighbors(5)) {
+		t.Fatalf("restored vertex neighbours %v, want %v", view.LiveNeighbors(5), g.Neighbors(5))
+	}
+
+	// Randomized inverse law: delete a set, restore a subset, and compare
+	// every query against a view that only ever deleted the difference.
+	r := rand.New(rand.NewSource(23))
+	s := NewScratch(nil)
+	for trial := 0; trial < 30; trial++ {
+		rg := randomGraph(r, 5+r.Intn(35), 0.1+r.Float64()*0.25)
+		del := pickDead(r, rg, 0.5)
+		revive := make(map[NodeID]bool)
+		stillDead := make(map[NodeID]bool)
+		for _, v := range del {
+			if r.Float64() < 0.5 {
+				revive[v] = true
+			} else {
+				stillDead[v] = true
+			}
+		}
+		got := NewDeleteView(rg)
+		for _, v := range del {
+			got.Delete(v)
+		}
+		for _, v := range del {
+			if revive[v] && !got.Restore(v) {
+				t.Fatalf("trial %d: Restore(%d) of dead vertex reported false", trial, v)
+			}
+		}
+		want := NewDeleteView(rg)
+		for _, v := range del {
+			if stillDead[v] {
+				want.Delete(v)
+			}
+		}
+		if got.NumLive() != want.NumLive() {
+			t.Fatalf("trial %d: NumLive %d, want %d", trial, got.NumLive(), want.NumLive())
+		}
+		if !reflect.DeepEqual(got.Materialize(), want.Materialize()) {
+			t.Fatalf("trial %d: delete+restore view materializes differently from direct deletion", trial)
+		}
+		for _, v := range want.LiveNodes() {
+			if !reflect.DeepEqual(got.LiveNeighbors(v), want.LiveNeighbors(v)) {
+				t.Fatalf("trial %d: LiveNeighbors(%d) differ after restore", trial, v)
+			}
+			for k := 1; k <= 3; k++ {
+				a := got.KHopBall(v, k, s)
+				b := want.KHopBall(v, k, s)
+				if len(a) == 0 && len(b) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("trial %d: KHopBall(%d,%d) differs after restore", trial, v, k)
+				}
+			}
+		}
+	}
+}
+
+// TestNeighborhoodFingerprint pins the memo-key contract of the streaming
+// verdict cache: the fingerprint is a pure function of the labelled k-hop
+// neighbourhood — equal across structurally different base graphs that
+// induce the same live neighbourhood, sensitive to any vertex or edge
+// change inside the ball, insensitive to changes strictly outside it.
+func TestNeighborhoodFingerprint(t *testing.T) {
+	s := NewScratch(nil)
+
+	// Dead and absent vertices hash to the reserved 0.
+	g := Grid(3, 3)
+	view := NewDeleteView(g)
+	view.Delete(4)
+	if view.NeighborhoodFingerprint(4, 2, s) != 0 || view.NeighborhoodFingerprint(99, 2, s) != 0 {
+		t.Fatal("dead/absent fingerprint must be 0")
+	}
+
+	// Equality across base graphs: a view with dead vertices must
+	// fingerprint like a fresh view over the materialized remainder.
+	r := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 30; trial++ {
+		rg := randomGraph(r, 5+r.Intn(35), 0.1+r.Float64()*0.25)
+		v1 := NewDeleteView(rg)
+		for _, v := range pickDead(r, rg, 0.3) {
+			v1.Delete(v)
+		}
+		v2 := NewDeleteView(v1.Materialize())
+		for _, v := range v1.LiveNodes() {
+			for k := 1; k <= 3; k++ {
+				a := v1.NeighborhoodFingerprint(v, k, s)
+				b := v2.NeighborhoodFingerprint(v, k, s)
+				if a != b {
+					t.Fatalf("trial %d: fingerprint(%d,k=%d) differs across base graphs: %x vs %x", trial, v, k, a, b)
+				}
+				if a == 0 {
+					t.Fatalf("trial %d: live vertex %d fingerprinted to the reserved 0", trial, v)
+				}
+			}
+		}
+	}
+
+	// Sensitivity inside the ball vs. insensitivity outside it, on a path
+	// where hop distances are unambiguous: 0-1-2-3-4-5.
+	b := NewBuilder()
+	for i := NodeID(0); i < 6; i++ {
+		b.AddNode(i)
+	}
+	for i := NodeID(0); i < 5; i++ {
+		b.AddEdge(i, i+1)
+	}
+	path := b.MustBuild()
+	base := NewDeleteView(path)
+	fp := base.NeighborhoodFingerprint(0, 2, s)
+	inBall := NewDeleteView(path)
+	inBall.Delete(2) // distance 2 from v=0: inside the ball
+	if inBall.NeighborhoodFingerprint(0, 2, s) == fp {
+		t.Fatal("deleting a ball vertex must change the fingerprint")
+	}
+	outside := NewDeleteView(path)
+	outside.Delete(5) // distance 5 from v=0: outside the 2-hop ball
+	if outside.NeighborhoodFingerprint(0, 2, s) != fp {
+		t.Fatal("deleting outside the ball must not change the fingerprint")
+	}
+}
+
 // TestScratchReuseAcrossGraphs: one Scratch must serve graphs of different
 // sizes back to back without cross-contamination (epoch stamping).
 func TestScratchReuseAcrossGraphs(t *testing.T) {

@@ -1,0 +1,239 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dcc/internal/core"
+	"dcc/internal/trace"
+)
+
+// TestStreamChaosMatrix is the event-stream chaos harness: for each seeded
+// stream it runs an uninterrupted reference, then attacks the durability
+// artifacts — kills at seeded byte offsets with producer redelivery,
+// torn snapshots, and a matrix of WAL mutations (truncation, bit flips,
+// duplicated / reordered / excised / garbage records) — asserting that
+// every recovery either converges (cover equals the batch canonical
+// schedule of its topology; for pure truncations, state equals an exact
+// event prefix) or fails with a typed corruption error. Never a panic,
+// never silent divergence.
+func TestStreamChaosMatrix(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			chaosStream(t, seed)
+		})
+	}
+}
+
+func chaosStream(t *testing.T, seed int64) {
+	radius := 0.0
+	if seed%2 == 0 {
+		radius = 1.6 // alternate topology modes across the matrix
+	}
+	net, pos := testDeploy(t, 200+seed, 6, 6, 1.6)
+	cfg := Config{Tau: 3 + int(seed%3), Seed: seed, Radius: radius, Positions: pos}
+	n := 70
+	if testing.Short() {
+		n = 35
+	}
+	orig, image, events, fps := walRun(t, net, cfg, 300+seed, n)
+	refState := orig.StateFingerprint()
+	refCover := orig.CoverFingerprint()
+	rng := rand.New(rand.NewSource(400 + seed))
+
+	// A mid-stream snapshot for the snapshot-based scenarios.
+	snapAt := n / 2
+	snapImage := snapshotAfter(t, net, cfg, events[:snapAt])
+
+	t.Run("crash-restart", func(t *testing.T) {
+		// At least 3 seeded kill points per stream, spread across the log.
+		cuts := []int{len(image) / 5, len(image) / 2, len(image) * 9 / 10}
+		for i := 0; i < 2; i++ {
+			cuts = append(cuts, 1+rng.Intn(len(image)-1))
+		}
+		for _, cut := range cuts {
+			rec, info, err := Recover(net, cfg, nil, bytes.NewReader(image[:cut]))
+			if err != nil {
+				t.Fatalf("cut %d: %v", cut, err)
+			}
+			if info.ValidWALBytes > int64(cut) {
+				t.Fatalf("cut %d: valid prefix %d beyond the surviving bytes", cut, info.ValidWALBytes)
+			}
+			// The producer redelivers from before the watermark: dups and
+			// stale events must be absorbed, the rest applied.
+			start := 0
+			for i, ev := range events {
+				if ev.Seq > rec.Watermark() {
+					start = i
+					break
+				}
+			}
+			replayFrom := start - rng.Intn(3)
+			if replayFrom < 0 {
+				replayFrom = 0
+			}
+			for _, ev := range events[replayFrom:] {
+				err := rec.Step(ev)
+				if err != nil && !errors.Is(err, ErrDuplicateEvent) && !errors.Is(err, ErrStaleEvent) {
+					t.Fatalf("cut %d: redelivery of %v: %v", cut, ev, err)
+				}
+			}
+			if rec.StateFingerprint() != refState {
+				t.Fatalf("cut %d: crash-restart state diverged", cut)
+			}
+			if rec.CoverFingerprint() != refCover {
+				t.Fatalf("cut %d: crash-restart cover diverged", cut)
+			}
+		}
+	})
+
+	t.Run("snapshot-crash-restart", func(t *testing.T) {
+		// Kill after the snapshot: recover from snapshot + torn full log.
+		cut := len(image)*3/4 + rng.Intn(len(image)/4)
+		rec, info, err := Recover(net, cfg, bytes.NewReader(snapImage), bytes.NewReader(image[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if !info.FromSnapshot {
+			t.Fatal("snapshot ignored")
+		}
+		for _, ev := range events {
+			if ev.Seq <= rec.Watermark() {
+				continue
+			}
+			if err := rec.Step(ev); err != nil {
+				t.Fatalf("redelivery of %v: %v", ev, err)
+			}
+		}
+		if rec.StateFingerprint() != refState || rec.CoverFingerprint() != refCover {
+			t.Fatal("snapshot crash-restart diverged")
+		}
+	})
+
+	t.Run("mutations", func(t *testing.T) {
+		boundaries := recordEnds(image)
+		mutations := []struct {
+			name   string
+			mutate func([]byte) []byte
+			// prefixExact: the mutation only removes a suffix, so the
+			// recovered state must equal an exact event-prefix state.
+			prefixExact bool
+		}{
+			{"truncate", func(b []byte) []byte {
+				return b[:rng.Intn(len(b))]
+			}, true},
+			{"bitflip", func(b []byte) []byte {
+				c := append([]byte(nil), b...)
+				c[rng.Intn(len(c))] ^= 1 << uint(rng.Intn(8))
+				return c
+			}, false},
+			{"duplicate-record", func(b []byte) []byte {
+				i := rng.Intn(len(boundaries) - 1)
+				rec := b[boundaries[i]:boundaries[i+1]]
+				c := append([]byte(nil), b[:boundaries[i+1]]...)
+				c = append(c, rec...)
+				return append(c, b[boundaries[i+1]:]...)
+			}, false},
+			{"reorder-records", func(b []byte) []byte {
+				i := 1 + rng.Intn(len(boundaries)-3) // never the header
+				r1 := b[boundaries[i]:boundaries[i+1]]
+				r2 := b[boundaries[i+1]:boundaries[i+2]]
+				c := append([]byte(nil), b[:boundaries[i]]...)
+				c = append(c, r2...)
+				c = append(c, r1...)
+				return append(c, b[boundaries[i+2]:]...)
+			}, false},
+			{"excise-record", func(b []byte) []byte {
+				i := 1 + rng.Intn(len(boundaries)-2)
+				c := append([]byte(nil), b[:boundaries[i]]...)
+				return append(c, b[boundaries[i+1]:]...)
+			}, false},
+			{"garbage-append", func(b []byte) []byte {
+				g := make([]byte, 1+rng.Intn(40))
+				rng.Read(g)
+				return append(append([]byte(nil), b...), g...)
+			}, false},
+			{"garbage-insert", func(b []byte) []byte {
+				i := boundaries[1+rng.Intn(len(boundaries)-1)]
+				g := make([]byte, 1+rng.Intn(20))
+				rng.Read(g)
+				c := append([]byte(nil), b[:i]...)
+				c = append(c, g...)
+				return append(c, b[i:]...)
+			}, false},
+		}
+		for _, mu := range mutations {
+			for round := 0; round < 3; round++ {
+				damaged := mu.mutate(image)
+				rec, info, err := Recover(net, cfg, nil, bytes.NewReader(damaged))
+				if err != nil {
+					// A mutation may destroy the header: only typed
+					// corruption errors are acceptable.
+					if !errors.Is(err, ErrCorruptWAL) && !errors.Is(err, ErrConfigMismatch) &&
+						!errors.Is(err, ErrMalformedEvent) {
+						t.Fatalf("%s round %d: untyped recovery error %v", mu.name, round, err)
+					}
+					continue
+				}
+				if mu.prefixExact {
+					if got := rec.StateFingerprint(); got != fps[info.Replayed] {
+						t.Fatalf("%s round %d: truncation recovered %d events but not their exact state",
+							mu.name, round, info.Replayed)
+					}
+				}
+				assertConverged(t, rec, cfg)
+			}
+		}
+	})
+
+	t.Run("torn-snapshot", func(t *testing.T) {
+		for round := 0; round < 3; round++ {
+			cut := rng.Intn(len(snapImage))
+			_, _, err := Recover(net, cfg, bytes.NewReader(snapImage[:cut]), bytes.NewReader(image))
+			if !errors.Is(err, ErrCorruptSnapshot) {
+				t.Fatalf("torn snapshot at %d: err = %v, want ErrCorruptSnapshot", cut, err)
+			}
+		}
+	})
+}
+
+// snapshotAfter replays an event prefix on a fresh engine and snapshots it.
+func snapshotAfter(t *testing.T, net core.Network, cfg Config, events []Event) []byte {
+	t.Helper()
+	cfg.WAL = nil
+	e, err := New(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if err := e.Step(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap bytes.Buffer
+	if _, err := e.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap.Bytes()
+}
+
+// recordEnds returns the cumulative end offsets of every record in a
+// framed stream, starting with 0.
+func recordEnds(image []byte) []int64 {
+	ends := []int64{0}
+	rr := trace.NewRecordReader(bytes.NewReader(image), 0)
+	for {
+		if _, err := rr.Next(); err != nil {
+			return ends
+		}
+		ends = append(ends, rr.Offset())
+	}
+}

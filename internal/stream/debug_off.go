@@ -1,0 +1,12 @@
+//go:build !dccdebug
+
+package stream
+
+import (
+	"dcc/internal/graph"
+	"dcc/internal/vpt"
+)
+
+// debugCheckMemoVerdict is a no-op in release builds; the dccdebug build
+// re-derives every memoized verdict from scratch (debug_on.go).
+func debugCheckMemoVerdict(*vpt.Cache, graph.NodeID, bool, *graph.Scratch, *vpt.Tester) {}

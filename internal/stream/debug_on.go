@@ -1,0 +1,31 @@
+//go:build dccdebug
+
+package stream
+
+import (
+	"fmt"
+
+	"dcc/internal/graph"
+	"dcc/internal/vpt"
+)
+
+// debugMemoCheckLimit caps the number of memo hits cross-checked per
+// process: enough to catch a fingerprint-collision or staleness bug in any
+// test, cheap enough to leave on for the whole dccdebug suite.
+const debugMemoCheckLimit = 4096
+
+var debugMemoChecks int
+
+// debugCheckMemoVerdict re-derives a memoized deletability verdict from
+// the residual neighborhood and panics on disagreement — the soundness
+// check behind the memo: fingerprint equality must imply verdict equality.
+func debugCheckMemoVerdict(cache *vpt.Cache, v graph.NodeID, memoized bool, s *graph.Scratch, t *vpt.Tester) {
+	if debugMemoChecks >= debugMemoCheckLimit {
+		return
+	}
+	debugMemoChecks++
+	if fresh := cache.ComputeFresh(v, s, t); fresh != memoized {
+		panic(fmt.Sprintf("stream: memoized verdict for node %d is %v, fresh computation says %v (fingerprint collision or stale memo)",
+			v, memoized, fresh))
+	}
+}

@@ -1,0 +1,586 @@
+package stream
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"dcc/internal/core"
+	"dcc/internal/geom"
+	"dcc/internal/graph"
+	"dcc/internal/trace"
+	"dcc/internal/vpt"
+)
+
+// Config parameterizes a streaming engine. Tau and Seed fix the canonical
+// schedule; Radius selects geometric (unit-disk) edge derivation when
+// positive and explicit event-driven edges when zero.
+type Config struct {
+	// Tau is the confine size (≥ 3).
+	Tau int
+	// Seed drives the canonical election priorities. Part of the
+	// convergence identity: recovery must use the genesis seed.
+	Seed int64
+	// Radius, when positive, derives each joining or moving node's edges
+	// from the unit-disk rule over current positions; edge events are then
+	// rejected. Zero means edges change only through explicit events.
+	Radius float64
+	// Positions carries genesis coordinates, indexed by node id. Required
+	// for every genesis node when Radius > 0; optional metadata otherwise.
+	Positions map[graph.NodeID]geom.Point
+	// MaxPending bounds the backpressure queue: when the pending batch
+	// reaches this depth the engine degrades gracefully by applying the
+	// whole batch at once (one re-election instead of one per event).
+	// 0 means 256.
+	MaxPending int
+	// NoCoalesce disables mobility-tick coalescing (mostly for tests; the
+	// default last-write-wins coalescing is semantics-preserving).
+	NoCoalesce bool
+	// MemoLimit caps the verdict memo; at the cap the memo is dropped
+	// wholesale, which keeps eviction deterministic. 0 means 1<<20.
+	MemoLimit int
+	// MaxQuarantine bounds the rejected-event ring. 0 means 64.
+	MaxQuarantine int
+	// WAL, when non-nil, receives the write-ahead log: a header record at
+	// genesis, then every admitted event, framed and checksummed
+	// (trace.AppendRecord) before it is applied.
+	WAL io.Writer
+}
+
+const (
+	defaultMaxPending    = 256
+	defaultMemoLimit     = 1 << 20
+	defaultMaxQuarantine = 64
+)
+
+// Stats counts the engine's work since construction (or recovery).
+type Stats struct {
+	// Admission.
+	Admitted   int // events accepted past validation, sequencing and WAL
+	Applied    int // events applied to the topology
+	Rejected   int // events quarantined (shape, boundary, stale, semantic)
+	Duplicates int // watermark redeliveries dropped silently
+	Coalesced  int // mobility ticks absorbed by a pending tick
+
+	// Topology.
+	Rebuilds     int // CSR recompilations (structural events)
+	FastRestores int // rejoins served by the O(1) overlay Restore
+
+	// Election.
+	Elections  int
+	Tests      int // deletability verdicts requested by the canonical loop
+	MemoHits   int // verdicts served by the neighborhood-fingerprint memo
+	MemoMisses int
+	MemoResets int // wholesale memo drops at MemoLimit
+
+	// Durability.
+	WALBytes  int64
+	Snapshots int
+}
+
+// Rejection is one quarantined event with the reason it was refused.
+type Rejection struct {
+	Event Event
+	Err   error
+}
+
+// memoKey identifies a deletability verdict: the vertex plus the
+// fingerprint of its k-hop neighborhood on the residual it was judged
+// against. Equal fingerprints mean isomorphic (indeed identically labeled)
+// neighborhoods, which the verdict is a pure function of.
+type memoKey struct {
+	v  graph.NodeID
+	fp uint64
+}
+
+// Engine is the event-sourced streaming coverage engine. It is not safe
+// for concurrent use; wrap it in the caller's serialization (the
+// distributed runtime's actor loop, or a mutex).
+type Engine struct {
+	tau, k int
+	seed   int64
+	cfg    Config
+
+	topo           *topology
+	boundary       map[graph.NodeID]bool
+	boundarySorted []graph.NodeID
+	cycles         [][]graph.NodeID
+	boundaryEdges  map[graph.Edge]bool
+
+	watermark uint64 // highest admitted sequence number
+	pending   []Event
+
+	memo      map[memoKey]bool
+	memoLimit int
+
+	cover      []graph.NodeID // live internal nodes after the last election
+	coverStale bool
+
+	quarantine []Rejection
+	stats      Stats
+
+	tester *vpt.Tester
+	encBuf []byte
+}
+
+// New builds a streaming engine over the genesis network. The genesis
+// topology is taken as-is (also in geometric mode: derivation governs
+// subsequent events, not the initial edge set). If cfg.WAL is set, the WAL
+// header record is written immediately.
+func New(net core.Network, cfg Config) (*Engine, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Tau < 3 {
+		return nil, fmt.Errorf("stream: tau %d below minimum 3", cfg.Tau)
+	}
+	if cfg.Radius < 0 || !finite(cfg.Radius) {
+		return nil, fmt.Errorf("stream: invalid radius %v", cfg.Radius)
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = defaultMaxPending
+	}
+	if cfg.MemoLimit <= 0 {
+		cfg.MemoLimit = defaultMemoLimit
+	}
+	if cfg.MaxQuarantine <= 0 {
+		cfg.MaxQuarantine = defaultMaxQuarantine
+	}
+
+	nodes := net.G.Nodes()
+	pos := make([]geom.Point, len(nodes))
+	for i, v := range nodes {
+		p, ok := cfg.Positions[v]
+		if !ok && cfg.Radius > 0 {
+			return nil, fmt.Errorf("stream: geometric mode: no position for genesis node %d", v)
+		}
+		if !finite(p.X) || !finite(p.Y) {
+			return nil, fmt.Errorf("stream: non-finite position for node %d", v)
+		}
+		pos[i] = p
+	}
+
+	e := &Engine{
+		tau:       cfg.Tau,
+		k:         vpt.NeighborhoodRadius(cfg.Tau),
+		seed:      cfg.Seed,
+		cfg:       cfg,
+		memo:      make(map[memoKey]bool),
+		memoLimit: cfg.MemoLimit,
+		tester:    vpt.NewTester(),
+		encBuf:    make([]byte, 0, maxEventRecordLen),
+	}
+	e.topo = newTopology(net.G, cfg.Radius, pos, &e.stats)
+
+	e.boundary = make(map[graph.NodeID]bool, len(net.Boundary))
+	for _, v := range nodes {
+		if net.Boundary[v] {
+			e.boundary[v] = true
+			e.boundarySorted = append(e.boundarySorted, v)
+		}
+	}
+	e.cycles = make([][]graph.NodeID, len(net.BoundaryCycles))
+	e.boundaryEdges = make(map[graph.Edge]bool)
+	for ci, cyc := range net.BoundaryCycles {
+		e.cycles[ci] = append([]graph.NodeID(nil), cyc...)
+		for i, v := range cyc {
+			e.boundaryEdges[graph.NormEdge(v, cyc[(i+1)%len(cyc)])] = true
+		}
+	}
+	e.coverStale = true
+
+	if cfg.WAL != nil {
+		n, err := trace.WriteRecord(cfg.WAL, appendWALHeader(nil, cfg))
+		e.stats.WALBytes += int64(n)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// checkImmutable enforces the static boundary/mode contract: the boundary
+// structure the criterion's cycle basis stands on never changes, and
+// explicit edge events are meaningless under geometric derivation. These
+// checks depend only on genesis configuration, so rejecting them before
+// the WAL keeps live ingestion and replay identical.
+func (e *Engine) checkImmutable(ev Event) error {
+	switch ev.Kind {
+	case KindJoin, KindLeave, KindCrash, KindMove:
+		if e.boundary[ev.Node] {
+			return fmt.Errorf("%w: %s targets boundary node %d", ErrBoundaryImmutable, ev.Kind, ev.Node)
+		}
+	case KindEdgeUp, KindEdgeDown:
+		if e.topo.radius > 0 {
+			return fmt.Errorf("%w: %s: geometric mode derives edges from positions", ErrInvalidEvent, ev.Kind)
+		}
+		if ev.Kind == KindEdgeDown && e.boundaryEdges[graph.NormEdge(ev.Node, ev.Peer)] {
+			return fmt.Errorf("%w: edge %d-%d lies on a boundary cycle", ErrBoundaryImmutable, ev.Node, ev.Peer)
+		}
+	}
+	return nil
+}
+
+// reject quarantines ev, keeping the most recent MaxQuarantine rejections.
+func (e *Engine) reject(ev Event, err error) {
+	e.stats.Rejected++
+	if len(e.quarantine) == e.cfg.MaxQuarantine {
+		copy(e.quarantine, e.quarantine[1:])
+		e.quarantine = e.quarantine[:len(e.quarantine)-1]
+	}
+	e.quarantine = append(e.quarantine, Rejection{Event: ev, Err: err})
+}
+
+// admit runs the admission pipeline: shape validation, immutability, the
+// sequencing watermark, then the WAL append. An event is durable before it
+// is ever applied; a crash after admit replays it from the log.
+func (e *Engine) admit(ev Event) error {
+	if err := ev.Validate(); err != nil {
+		e.reject(ev, err)
+		return err
+	}
+	if err := e.checkImmutable(ev); err != nil {
+		e.reject(ev, err)
+		return err
+	}
+	if ev.Seq <= e.watermark {
+		if ev.Seq == e.watermark {
+			e.stats.Duplicates++
+			return fmt.Errorf("%w: sequence %d is the admission watermark", ErrDuplicateEvent, ev.Seq)
+		}
+		err := fmt.Errorf("%w: sequence %d behind watermark %d", ErrStaleEvent, ev.Seq, e.watermark)
+		e.reject(ev, err)
+		return err
+	}
+	if e.cfg.WAL != nil {
+		n, err := trace.WriteRecord(e.cfg.WAL, ev.appendTo(e.encBuf[:0]))
+		e.stats.WALBytes += int64(n)
+		if err != nil {
+			return err // durability failure is fatal, not a quarantine
+		}
+	}
+	e.watermark = ev.Seq
+	e.stats.Admitted++
+	return nil
+}
+
+// apply mutates the topology under ev's semantics, or explains why it
+// cannot. It is a total deterministic function of (topology, event), which
+// is what makes WAL replay converge: the same admitted prefix produces the
+// same state and the same quarantine verdicts on every path.
+func (e *Engine) apply(ev Event) error {
+	t := e.topo
+	switch ev.Kind {
+	case KindJoin:
+		if t.alive(ev.Node) {
+			return fmt.Errorf("%w: join of live node %d", ErrInvalidEvent, ev.Node)
+		}
+		t.join(ev.Node, geom.Point{X: ev.X, Y: ev.Y})
+	case KindLeave, KindCrash:
+		if !t.alive(ev.Node) {
+			return fmt.Errorf("%w: %s of absent node %d", ErrInvalidEvent, ev.Kind, ev.Node)
+		}
+		t.depart(ev.Node)
+	case KindEdgeUp:
+		if !t.alive(ev.Node) || !t.alive(ev.Peer) {
+			return fmt.Errorf("%w: edge-up %d-%d with an absent endpoint", ErrInvalidEvent, ev.Node, ev.Peer)
+		}
+		if t.hasEdge(ev.Node, ev.Peer) {
+			return fmt.Errorf("%w: edge %d-%d already present", ErrInvalidEvent, ev.Node, ev.Peer)
+		}
+		t.edgeUp(ev.Node, ev.Peer)
+	case KindEdgeDown:
+		if !t.alive(ev.Node) || !t.alive(ev.Peer) {
+			return fmt.Errorf("%w: edge-down %d-%d with an absent endpoint", ErrInvalidEvent, ev.Node, ev.Peer)
+		}
+		if !t.hasEdge(ev.Node, ev.Peer) {
+			return fmt.Errorf("%w: edge %d-%d not present", ErrInvalidEvent, ev.Node, ev.Peer)
+		}
+		t.edgeDown(ev.Node, ev.Peer)
+	case KindMove:
+		if !t.alive(ev.Node) {
+			return fmt.Errorf("%w: move of absent node %d", ErrInvalidEvent, ev.Node)
+		}
+		t.move(ev.Node, geom.Point{X: ev.X, Y: ev.Y})
+	}
+	e.stats.Applied++
+	e.coverStale = true
+	return nil
+}
+
+// applyOne applies and quarantines on failure.
+func (e *Engine) applyOne(ev Event) error {
+	if err := e.apply(ev); err != nil {
+		e.reject(ev, err)
+		return err
+	}
+	return nil
+}
+
+// Ingest admits ev and enqueues it for batched application. Mobility ticks
+// coalesce last-write-wins against a pending tick of the same node when no
+// later pending event references that node — a window in which replacing
+// the tick provably reaches the same final topology, because a node's
+// derived edges depend only on its latest position. When the queue reaches
+// MaxPending the whole batch is applied at once (bounded staleness: one
+// re-election amortizes the burst).
+//
+// The returned error reports this event's admission verdict (nil means
+// admitted); apply-time verdicts of batched events surface through
+// Quarantined and Stats.
+func (e *Engine) Ingest(ev Event) error {
+	if err := e.admit(ev); err != nil {
+		return err
+	}
+	if ev.Kind == KindMove && !e.cfg.NoCoalesce {
+		for i := len(e.pending) - 1; i >= 0; i-- {
+			p := e.pending[i]
+			if p.Node == ev.Node || (p.Kind.pairwise() && p.Peer == ev.Node) {
+				if p.Kind == KindMove && p.Node == ev.Node {
+					e.pending[i] = ev
+					e.stats.Coalesced++
+					return nil
+				}
+				break
+			}
+		}
+	}
+	e.pending = append(e.pending, ev)
+	if len(e.pending) >= e.cfg.MaxPending {
+		e.Flush()
+	}
+	return nil
+}
+
+// Step is the low-latency path: admit ev and apply it (after any pending
+// batch) immediately. The returned error is the event's full admission or
+// application verdict.
+func (e *Engine) Step(ev Event) error {
+	if err := e.admit(ev); err != nil {
+		return err
+	}
+	e.Flush()
+	return e.applyOne(ev)
+}
+
+// Flush applies every pending event in admission order.
+func (e *Engine) Flush() {
+	for _, ev := range e.pending {
+		_ = e.applyOne(ev) // verdict recorded in the quarantine
+	}
+	e.pending = e.pending[:0]
+}
+
+// elect re-runs the canonical election over the live topology. The verdict
+// function is cache.Deletable memoized by neighborhood fingerprint: a
+// vertex whose k-hop residual neighborhood is unchanged since any earlier
+// election reuses its verdict, so an event's cost concentrates inside its
+// ≤⌈τ/2⌉-hop dirty region — every fingerprint outside it is unchanged.
+// Memo hits cannot change the outcome (fingerprint equality implies
+// identically labeled neighborhoods), so the cover stays a pure function
+// of the topology; the dccdebug build re-derives every hit to prove it.
+func (e *Engine) elect() {
+	if !e.coverStale {
+		return
+	}
+	live := e.topo.liveGraph()
+	cache := vpt.NewCache(live, e.tau)
+	view := cache.View()
+	scratch := graph.NewScratch(live)
+	test := func(v graph.NodeID) bool {
+		fp := view.NeighborhoodFingerprint(v, e.k, scratch)
+		key := memoKey{v: v, fp: fp}
+		if verdict, ok := e.memo[key]; ok {
+			e.stats.MemoHits++
+			debugCheckMemoVerdict(cache, v, verdict, scratch, e.tester)
+			cache.Store(v, verdict)
+			return verdict
+		}
+		e.stats.MemoMisses++
+		verdict := cache.Deletable(v)
+		if len(e.memo) >= e.memoLimit {
+			e.memo = make(map[memoKey]bool)
+			e.stats.MemoResets++
+		}
+		e.memo[key] = verdict
+		return verdict
+	}
+	net := core.Network{G: live, Boundary: e.boundary, BoundaryCycles: e.cycles}
+	_, tests := core.CanonicalElect(net, e.seed, cache, test)
+	e.stats.Elections++
+	e.stats.Tests += tests
+	e.cover = e.cover[:0]
+	for _, v := range cache.LiveNodes() {
+		if !e.boundary[v] {
+			e.cover = append(e.cover, v)
+		}
+	}
+	e.coverStale = false
+}
+
+// Cover flushes pending events, re-elects if needed, and returns the
+// active coverage set: the live internal nodes the canonical schedule
+// keeps, sorted by id.
+func (e *Engine) Cover() []graph.NodeID {
+	e.Flush()
+	e.elect()
+	return append([]graph.NodeID(nil), e.cover...)
+}
+
+// Watermark returns the highest admitted sequence number.
+func (e *Engine) Watermark() uint64 { return e.watermark }
+
+// PendingLen reports the backpressure queue depth.
+func (e *Engine) PendingLen() int { return len(e.pending) }
+
+// LiveCount reports the number of live nodes (boundary included).
+func (e *Engine) LiveCount() int { return e.topo.liveCount() }
+
+// Stats returns a snapshot of the work counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Quarantined returns a copy of the rejected-event ring, oldest first.
+func (e *Engine) Quarantined() []Rejection {
+	return append([]Rejection(nil), e.quarantine...)
+}
+
+// MaterializedNetwork flushes pending events and returns the live topology
+// as a batch-schedulable network — the object the differential convergence
+// suite feeds to core.Schedule.
+func (e *Engine) MaterializedNetwork() core.Network {
+	e.Flush()
+	cycles := make([][]graph.NodeID, len(e.cycles))
+	for i, c := range e.cycles {
+		cycles[i] = append([]graph.NodeID(nil), c...)
+	}
+	boundary := make(map[graph.NodeID]bool, len(e.boundarySorted))
+	for _, v := range e.boundarySorted {
+		boundary[v] = true
+	}
+	return core.Network{G: e.topo.liveGraph(), Boundary: boundary, BoundaryCycles: cycles}
+}
+
+// NodeAt is a positioned node, the vocabulary of CoverFingerprintOf.
+type NodeAt struct {
+	ID   graph.NodeID
+	X, Y float64
+}
+
+// LiveNodesAt flushes pending events and returns the live nodes with their
+// current positions, sorted by id.
+func (e *Engine) LiveNodesAt() []NodeAt {
+	e.Flush()
+	t := e.topo
+	out := make([]NodeAt, 0, t.liveCount())
+	for i, v := range t.ids {
+		if !t.dead[i] {
+			out = append(out, NodeAt{ID: v, X: t.pos[i].X, Y: t.pos[i].Y})
+		}
+	}
+	return out
+}
+
+// CoverFingerprintOf hashes a (configuration, live topology, cover) triple
+// into the convergence identity. Exported so shadow models — the
+// differential suite's independently maintained topology plus a batch
+// core.Schedule cover — can compute the exact fingerprint the engine must
+// match. Inputs are canonicalized (sorted, normalized) internally.
+func CoverFingerprintOf(tau int, seed int64, nodes []NodeAt, edges []graph.Edge, cover []graph.NodeID) [32]byte {
+	ns := append([]NodeAt(nil), nodes...)
+	sort.Slice(ns, func(i, j int) bool { return ns[i].ID < ns[j].ID })
+	es := make([]graph.Edge, len(edges))
+	for i, e := range edges {
+		es[i] = graph.NormEdge(e.U, e.V)
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+	cv := append([]graph.NodeID(nil), cover...)
+	sort.Slice(cv, func(i, j int) bool { return cv[i] < cv[j] })
+
+	b := []byte("dcc-cover-v1")
+	b = binary.AppendUvarint(b, uint64(tau))
+	b = binary.LittleEndian.AppendUint64(b, uint64(seed))
+	b = binary.AppendUvarint(b, uint64(len(ns)))
+	for _, n := range ns {
+		b = binary.AppendUvarint(b, uint64(n.ID))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(n.X))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(n.Y))
+	}
+	b = binary.AppendUvarint(b, uint64(len(es)))
+	for _, e := range es {
+		b = binary.AppendUvarint(b, uint64(e.U))
+		b = binary.AppendUvarint(b, uint64(e.V))
+	}
+	b = binary.AppendUvarint(b, uint64(len(cv)))
+	for _, v := range cv {
+		b = binary.AppendUvarint(b, uint64(v))
+	}
+	return sha256.Sum256(b)
+}
+
+// CoverFingerprint flushes, re-elects, and returns the engine's side of
+// the convergence identity: the hash of (tau, seed, live nodes with
+// positions, live edges, cover).
+func (e *Engine) CoverFingerprint() [32]byte {
+	e.Flush()
+	e.elect()
+	return CoverFingerprintOf(e.tau, e.seed, e.LiveNodesAt(), e.topo.liveGraph().Edges(), e.cover)
+}
+
+// stateBytes is the canonical encoding of the full engine state — universe
+// (dead nodes included), configuration, watermark — everything crash
+// recovery must reproduce exactly. The snapshot embeds sha256(stateBytes)
+// so a decoded snapshot self-verifies, and StateFingerprint exposes the
+// same hash as the kill-at-any-byte identity.
+func (e *Engine) stateBytes() []byte {
+	t := e.topo
+	b := []byte("dcc-state-v1")
+	b = binary.AppendUvarint(b, uint64(e.tau))
+	b = binary.LittleEndian.AppendUint64(b, uint64(e.seed))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(t.radius))
+	b = binary.AppendUvarint(b, e.watermark)
+	b = binary.AppendUvarint(b, uint64(len(e.boundarySorted)))
+	for _, v := range e.boundarySorted {
+		b = binary.AppendUvarint(b, uint64(v))
+	}
+	b = binary.AppendUvarint(b, uint64(len(e.cycles)))
+	for _, cyc := range e.cycles {
+		b = binary.AppendUvarint(b, uint64(len(cyc)))
+		for _, v := range cyc {
+			b = binary.AppendUvarint(b, uint64(v))
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(t.ids)))
+	for i, v := range t.ids {
+		b = binary.AppendUvarint(b, uint64(v))
+		if t.dead[i] {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(t.pos[i].X))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(t.pos[i].Y))
+	}
+	b = binary.AppendUvarint(b, uint64(len(t.edges)))
+	for _, ed := range t.edges {
+		b = binary.AppendUvarint(b, uint64(ed.U))
+		b = binary.AppendUvarint(b, uint64(ed.V))
+	}
+	return b
+}
+
+// StateFingerprint flushes pending events and hashes the full engine
+// state. Two engines with equal state fingerprints are observationally
+// identical: same universe, same liveness, same watermark, and therefore
+// (by canonical election) the same cover for the rest of time.
+func (e *Engine) StateFingerprint() [32]byte {
+	e.Flush()
+	return sha256.Sum256(e.stateBytes())
+}

@@ -1,0 +1,360 @@
+package stream
+
+import (
+	"math/rand"
+	"sort"
+
+	"dcc/internal/core"
+	"dcc/internal/geom"
+	"dcc/internal/graph"
+)
+
+// Mutator synthesizes well-formed event streams over a genesis network and
+// simultaneously maintains an independent shadow model of the topology
+// those events produce. The shadow shares no code with the engine's
+// topology layer — edges are re-derived globally, liveness lives in plain
+// sorted slices — which is what gives the differential convergence suite
+// and the experiments replay driver an engine-free source of truth: after
+// any prefix, CoverFingerprintOf(tau, seed, m.Nodes(), m.Edges(), batch
+// cover) is the fingerprint the streaming engine must reproduce.
+//
+// Every generated event is valid by construction: boundary nodes are never
+// touched, liveness preconditions hold, and sequence numbers increase
+// (with occasional legal gaps). Hostile input is the chaos harness's
+// department, not the Mutator's.
+type Mutator struct {
+	rng    *rand.Rand
+	radius float64
+	rect   geom.Rect
+	seq    uint64
+	nextID graph.NodeID
+
+	// Shadow state: the universe in sorted-id order. Departed nodes stay,
+	// flagged dead, and their explicit-mode edges are retained — the same
+	// revival semantics the engine implements.
+	ids      []graph.NodeID
+	pos      []geom.Point
+	dead     []bool
+	boundary []bool
+	edges    []graph.Edge // explicit mode universe edges (radius == 0)
+
+	cycleEdge map[graph.Edge]bool
+}
+
+// NewMutator builds a stream synthesizer over the genesis network; cfg
+// supplies tau-independent stream parameters (Radius, Positions) and seed
+// derives the event randomness.
+func NewMutator(net core.Network, cfg Config, seed int64) *Mutator {
+	nodes := net.G.Nodes()
+	m := &Mutator{
+		rng:       rand.New(rand.NewSource(seed)),
+		radius:    cfg.Radius,
+		nextID:    nodes[len(nodes)-1] + 1,
+		ids:       nodes,
+		pos:       make([]geom.Point, len(nodes)),
+		dead:      make([]bool, len(nodes)),
+		boundary:  make([]bool, len(nodes)),
+		cycleEdge: make(map[graph.Edge]bool),
+	}
+	for i, v := range nodes {
+		m.pos[i] = cfg.Positions[v]
+		m.boundary[i] = net.Boundary[v]
+	}
+	if m.radius <= 0 {
+		m.edges = net.G.Edges()
+	}
+	for _, cyc := range net.BoundaryCycles {
+		for i, v := range cyc {
+			m.cycleEdge[graph.NormEdge(v, cyc[(i+1)%len(cyc)])] = true
+		}
+	}
+	m.rect = geom.Rect{MinX: m.pos[0].X, MaxX: m.pos[0].X, MinY: m.pos[0].Y, MaxY: m.pos[0].Y}
+	for _, p := range m.pos {
+		if p.X < m.rect.MinX {
+			m.rect.MinX = p.X
+		}
+		if p.X > m.rect.MaxX {
+			m.rect.MaxX = p.X
+		}
+		if p.Y < m.rect.MinY {
+			m.rect.MinY = p.Y
+		}
+		if p.Y > m.rect.MaxY {
+			m.rect.MaxY = p.Y
+		}
+	}
+	if m.rect.Width() == 0 && m.rect.Height() == 0 {
+		m.rect = geom.Square(1)
+	}
+	return m
+}
+
+// Seq returns the sequence number of the last generated event.
+func (m *Mutator) Seq() uint64 { return m.seq }
+
+// interior returns the indices of live non-boundary nodes.
+func (m *Mutator) interior() []int {
+	var out []int
+	for i := range m.ids {
+		if !m.dead[i] && !m.boundary[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (m *Mutator) deadIdx() []int {
+	var out []int
+	for i := range m.ids {
+		if m.dead[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (m *Mutator) randPoint() geom.Point {
+	return geom.Point{
+		X: m.rect.MinX + m.rng.Float64()*m.rect.Width(),
+		Y: m.rect.MinY + m.rng.Float64()*m.rect.Height(),
+	}
+}
+
+// Next synthesizes the next event and applies it to the shadow model.
+func (m *Mutator) Next() Event {
+	m.seq++
+	if m.rng.Intn(8) == 0 {
+		m.seq += uint64(m.rng.Intn(3)) // legal sequence gap
+	}
+	ev := m.pick()
+	ev.Seq = m.seq
+	m.applyShadow(ev)
+	return ev
+}
+
+// pick draws an event kind respecting shadow-state preconditions.
+func (m *Mutator) pick() Event {
+	interior := m.interior()
+	for attempt := 0; attempt < 16; attempt++ {
+		roll := m.rng.Intn(100)
+		switch {
+		case roll < 45 && len(interior) > 0: // mobility tick
+			i := interior[m.rng.Intn(len(interior))]
+			p := m.step(m.pos[i])
+			return Event{Kind: KindMove, Node: m.ids[i], X: p.X, Y: p.Y}
+		case roll < 65: // join: revive or fresh
+			if dead := m.deadIdx(); len(dead) > 0 && m.rng.Intn(2) == 0 {
+				i := dead[m.rng.Intn(len(dead))]
+				p := m.pos[i]
+				if m.rng.Intn(2) == 0 {
+					p = m.randPoint() // revive elsewhere
+				}
+				return Event{Kind: KindJoin, Node: m.ids[i], X: p.X, Y: p.Y}
+			}
+			p := m.randPoint()
+			return Event{Kind: KindJoin, Node: m.nextID, X: p.X, Y: p.Y}
+		case roll < 85 && len(interior) > 4: // churn out a node
+			i := interior[m.rng.Intn(len(interior))]
+			kind := KindLeave
+			if m.rng.Intn(3) == 0 {
+				kind = KindCrash
+			}
+			return Event{Kind: kind, Node: m.ids[i]}
+		case m.radius <= 0 && len(interior) > 1: // explicit edge churn
+			if ev, ok := m.pickEdge(interior); ok {
+				return ev
+			}
+		}
+	}
+	// Degenerate shadow state (everything boundary or dead): grow it.
+	p := m.randPoint()
+	return Event{Kind: KindJoin, Node: m.nextID, X: p.X, Y: p.Y}
+}
+
+// step perturbs a position by a fraction of the field size, clamped.
+func (m *Mutator) step(p geom.Point) geom.Point {
+	scale := 0.1 * (m.rect.Width() + m.rect.Height()) / 2
+	q := geom.Point{
+		X: p.X + m.rng.NormFloat64()*scale,
+		Y: p.Y + m.rng.NormFloat64()*scale,
+	}
+	if q.X < m.rect.MinX {
+		q.X = m.rect.MinX
+	}
+	if q.X > m.rect.MaxX {
+		q.X = m.rect.MaxX
+	}
+	if q.Y < m.rect.MinY {
+		q.Y = m.rect.MinY
+	}
+	if q.Y > m.rect.MaxY {
+		q.Y = m.rect.MaxY
+	}
+	return q
+}
+
+// pickEdge draws an explicit-mode edge event: up between live non-adjacent
+// nodes, down on a non-cycle edge with live endpoints.
+func (m *Mutator) pickEdge(interior []int) (Event, bool) {
+	if m.rng.Intn(2) == 0 {
+		for attempt := 0; attempt < 8; attempt++ {
+			i := interior[m.rng.Intn(len(interior))]
+			j := interior[m.rng.Intn(len(interior))]
+			if i == j {
+				continue
+			}
+			e := graph.NormEdge(m.ids[i], m.ids[j])
+			if !m.shadowHasEdge(e) {
+				return Event{Kind: KindEdgeUp, Node: e.U, Peer: e.V}, true
+			}
+		}
+		return Event{}, false
+	}
+	var down []graph.Edge
+	for _, e := range m.edges {
+		if m.cycleEdge[e] {
+			continue
+		}
+		iu, _ := m.find(e.U)
+		iv, _ := m.find(e.V)
+		if !m.dead[iu] && !m.dead[iv] {
+			down = append(down, e)
+		}
+	}
+	if len(down) == 0 {
+		return Event{}, false
+	}
+	e := down[m.rng.Intn(len(down))]
+	return Event{Kind: KindEdgeDown, Node: e.U, Peer: e.V}, true
+}
+
+func (m *Mutator) find(v graph.NodeID) (int, bool) {
+	i := sort.Search(len(m.ids), func(i int) bool { return m.ids[i] >= v })
+	return i, i < len(m.ids) && m.ids[i] == v
+}
+
+func (m *Mutator) shadowHasEdge(e graph.Edge) bool {
+	for _, f := range m.edges {
+		if f == e {
+			return true
+		}
+	}
+	return false
+}
+
+// applyShadow mirrors the event onto the shadow model.
+func (m *Mutator) applyShadow(ev Event) {
+	switch ev.Kind {
+	case KindJoin:
+		i, ok := m.find(ev.Node)
+		if !ok {
+			m.ids = append(m.ids, 0)
+			copy(m.ids[i+1:], m.ids[i:])
+			m.ids[i] = ev.Node
+			m.pos = append(m.pos, geom.Point{})
+			copy(m.pos[i+1:], m.pos[i:])
+			m.dead = append(m.dead, false)
+			copy(m.dead[i+1:], m.dead[i:])
+			m.boundary = append(m.boundary, false)
+			copy(m.boundary[i+1:], m.boundary[i:])
+			m.boundary[i] = false
+			if ev.Node >= m.nextID {
+				m.nextID = ev.Node + 1
+			}
+		}
+		m.pos[i] = geom.Point{X: ev.X, Y: ev.Y}
+		m.dead[i] = false
+	case KindLeave, KindCrash:
+		i, _ := m.find(ev.Node)
+		m.dead[i] = true
+	case KindMove:
+		i, _ := m.find(ev.Node)
+		m.pos[i] = geom.Point{X: ev.X, Y: ev.Y}
+	case KindEdgeUp:
+		m.edges = append(m.edges, graph.NormEdge(ev.Node, ev.Peer))
+	case KindEdgeDown:
+		e := graph.NormEdge(ev.Node, ev.Peer)
+		for i, f := range m.edges {
+			if f == e {
+				m.edges = append(m.edges[:i], m.edges[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Nodes returns the shadow model's live nodes with positions, sorted.
+func (m *Mutator) Nodes() []NodeAt {
+	var out []NodeAt
+	for i, v := range m.ids {
+		if !m.dead[i] {
+			out = append(out, NodeAt{ID: v, X: m.pos[i].X, Y: m.pos[i].Y})
+		}
+	}
+	return out
+}
+
+// Edges returns the shadow model's live edge set: in geometric mode a full
+// from-scratch unit-disk derivation over live positions (independent of
+// the engine's incremental maintenance), in explicit mode the universe
+// edges whose endpoints are both live.
+func (m *Mutator) Edges() []graph.Edge {
+	var out []graph.Edge
+	if m.radius > 0 {
+		for i := range m.ids {
+			if m.dead[i] {
+				continue
+			}
+			for j := i + 1; j < len(m.ids); j++ {
+				if m.dead[j] {
+					continue
+				}
+				if geom.Dist(m.pos[i], m.pos[j]) <= m.radius {
+					out = append(out, graph.Edge{U: m.ids[i], V: m.ids[j]})
+				}
+			}
+		}
+		return out
+	}
+	for _, e := range m.edges {
+		iu, _ := m.find(e.U)
+		iv, _ := m.find(e.V)
+		if !m.dead[iu] && !m.dead[iv] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Network assembles the shadow model's live topology as a batch-schedulable
+// network with the genesis boundary structure — the "materialized topology"
+// of the convergence contract, built without consulting the engine.
+func (m *Mutator) Network(genesis core.Network) core.Network {
+	var isolated []graph.NodeID
+	edges := m.Edges()
+	touched := make(map[graph.NodeID]bool, 2*len(edges))
+	for _, e := range edges {
+		touched[e.U] = true
+		touched[e.V] = true
+	}
+	for i, v := range m.ids {
+		if !m.dead[i] && !touched[v] {
+			isolated = append(isolated, v)
+		}
+	}
+	g, err := graph.FromEdges(edges, isolated...)
+	if err != nil {
+		panic("stream: shadow model produced an invalid graph: " + err.Error())
+	}
+	cycles := make([][]graph.NodeID, len(genesis.BoundaryCycles))
+	for i, c := range genesis.BoundaryCycles {
+		cycles[i] = append([]graph.NodeID(nil), c...)
+	}
+	boundary := make(map[graph.NodeID]bool, len(genesis.Boundary))
+	for i, v := range m.ids {
+		if m.boundary[i] {
+			boundary[v] = true
+		}
+	}
+	return core.Network{G: g, Boundary: boundary, BoundaryCycles: cycles}
+}

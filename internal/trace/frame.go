@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Binary record framing — the durability contract of the streaming
+// write-ahead log (internal/stream) and of any other length-delimited
+// record file this package grows. One record on the wire is
+//
+//	uvarint payload-length | crc32c(payload) little-endian | payload
+//
+// The framing is self-delimiting and torn-write-detecting: a reader that
+// hits EOF mid-record reports ErrTruncatedRecord (the kill-at-any-byte
+// case — the surviving prefix of records is still fully usable), and a
+// record whose checksum or length field is damaged reports ErrCorruptRecord
+// with a descriptive position. Readers never guess: every byte of a
+// returned payload was covered by its checksum.
+
+// DefaultMaxRecordLen bounds record payloads when the caller passes no
+// explicit limit: 1 MiB, far above any event or snapshot record the
+// streaming engine writes, far below anything that could amplify a
+// corrupted length field into an OOM.
+const DefaultMaxRecordLen = 1 << 20
+
+// ErrTruncatedRecord is wrapped by record-reading errors caused by EOF in
+// the middle of a record — a torn write or truncated tail. Match with
+// errors.Is.
+var ErrTruncatedRecord = errors.New("trace: truncated record")
+
+// ErrCorruptRecord is wrapped by record-reading errors caused by damaged
+// bytes: a checksum mismatch or an implausible length field. Match with
+// errors.Is.
+var ErrCorruptRecord = errors.New("trace: corrupt record")
+
+// crcTable is the Castagnoli polynomial table shared by all records.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendRecord appends the framed encoding of payload to dst and returns
+// the extended slice.
+func AppendRecord(dst, payload []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, crcTable))
+	return append(dst, payload...)
+}
+
+// WriteRecord writes one framed record to w and returns the number of
+// bytes written.
+func WriteRecord(w io.Writer, payload []byte) (int, error) {
+	buf := AppendRecord(make([]byte, 0, len(payload)+binary.MaxVarintLen64+4), payload)
+	n, err := w.Write(buf)
+	if err != nil {
+		return n, fmt.Errorf("trace: write record: %w", err)
+	}
+	return n, nil
+}
+
+// RecordReader decodes a stream of framed records. It tracks the byte
+// offset of the valid prefix so recovery code can truncate a damaged log
+// exactly at the last intact record.
+type RecordReader struct {
+	r   *bufio.Reader
+	max int
+	off int64 // bytes consumed through the last successfully decoded record
+}
+
+// NewRecordReader wraps r. maxLen bounds the accepted payload length;
+// maxLen ≤ 0 selects DefaultMaxRecordLen.
+func NewRecordReader(r io.Reader, maxLen int) *RecordReader {
+	if maxLen <= 0 {
+		maxLen = DefaultMaxRecordLen
+	}
+	return &RecordReader{r: bufio.NewReader(r), max: maxLen}
+}
+
+// Offset returns the number of bytes consumed through the last record Next
+// successfully returned — the length of the valid prefix. After a
+// truncation or corruption error this is the exact offset recovery should
+// truncate the log to.
+func (rr *RecordReader) Offset() int64 { return rr.off }
+
+// Next returns the payload of the next record (a fresh copy). At a clean
+// record boundary it returns io.EOF. EOF inside a record wraps
+// ErrTruncatedRecord; a damaged length field or checksum mismatch wraps
+// ErrCorruptRecord. After any non-EOF error the reader is poisoned — the
+// stream position is no longer trustworthy and further Next calls
+// re-report from the same position.
+func (rr *RecordReader) Next() ([]byte, error) {
+	n := int64(0) // bytes of the current record consumed so far
+	length := uint64(0)
+	for shift := uint(0); ; shift += 7 {
+		b, err := rr.r.ReadByte()
+		if err == io.EOF {
+			if n == 0 {
+				return nil, io.EOF // clean boundary
+			}
+			return nil, fmt.Errorf("%w: offset %d: EOF inside length prefix", ErrTruncatedRecord, rr.off+n)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: read record at offset %d: %w", rr.off+n, err)
+		}
+		n++
+		if shift >= 63 && b > 1 {
+			return nil, fmt.Errorf("%w: offset %d: length prefix overflows uint64", ErrCorruptRecord, rr.off)
+		}
+		length |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			break
+		}
+	}
+	if length > uint64(rr.max) {
+		return nil, fmt.Errorf("%w: offset %d: record length %d exceeds the %d-byte limit",
+			ErrCorruptRecord, rr.off, length, rr.max)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(rr.r, crcBuf[:]); err != nil {
+		return nil, fmt.Errorf("%w: offset %d: EOF inside checksum", ErrTruncatedRecord, rr.off+n)
+	}
+	n += 4
+	payload := make([]byte, length)
+	if m, err := io.ReadFull(rr.r, payload); err != nil {
+		return nil, fmt.Errorf("%w: offset %d: EOF after %d of %d payload bytes",
+			ErrTruncatedRecord, rr.off+n+int64(m), m, length)
+	}
+	n += int64(length)
+	want := binary.LittleEndian.Uint32(crcBuf[:])
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return nil, fmt.Errorf("%w: offset %d: checksum %08x, want %08x", ErrCorruptRecord, rr.off, got, want)
+	}
+	rr.off += n
+	return payload, nil
+}

@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// readAll drains a RecordReader, returning payloads and the terminal error.
+func readAll(t *testing.T, buf []byte, maxLen int) ([][]byte, *RecordReader, error) {
+	t.Helper()
+	rr := NewRecordReader(bytes.NewReader(buf), maxLen)
+	var out [][]byte
+	for {
+		p, err := rr.Next()
+		if err == io.EOF {
+			return out, rr, nil
+		}
+		if err != nil {
+			return out, rr, err
+		}
+		out = append(out, p)
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		[]byte("a"),
+		[]byte("hello, wal"),
+		bytes.Repeat([]byte{0xAB}, 1000),
+	}
+	var buf bytes.Buffer
+	var appended []byte
+	for _, p := range payloads {
+		n, err := WriteRecord(&buf, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := len(appended)
+		appended = AppendRecord(appended, p)
+		if n != len(appended)-before {
+			t.Fatalf("WriteRecord wrote %d bytes, AppendRecord produced %d", n, len(appended)-before)
+		}
+	}
+	if !bytes.Equal(buf.Bytes(), appended) {
+		t.Fatal("WriteRecord and AppendRecord disagree on the byte image")
+	}
+	got, rr, err := readAll(t, buf.Bytes(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(payloads))
+	}
+	for i, p := range payloads {
+		if !bytes.Equal(got[i], p) {
+			t.Fatalf("record %d: %q, want %q", i, got[i], p)
+		}
+	}
+	if rr.Offset() != int64(len(buf.Bytes())) {
+		t.Fatalf("Offset() = %d after clean drain, want %d", rr.Offset(), len(buf.Bytes()))
+	}
+}
+
+// TestRecordTornAtEveryByte is the framing half of the kill-at-any-byte
+// contract: for every strict prefix of a valid multi-record stream, the
+// reader must return exactly the records that fit completely, then either
+// a clean EOF (cut at a boundary) or ErrTruncatedRecord — never a panic,
+// never a short or invented payload — and Offset() must point at the end
+// of the last intact record.
+func TestRecordTornAtEveryByte(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var full []byte
+	var ends []int64 // cumulative record end offsets
+	var payloads [][]byte
+	for i := 0; i < 6; i++ {
+		p := make([]byte, rng.Intn(40))
+		rng.Read(p)
+		payloads = append(payloads, p)
+		full = AppendRecord(full, p)
+		ends = append(ends, int64(len(full)))
+	}
+	for cut := 0; cut <= len(full); cut++ {
+		wantRecs := 0
+		var wantOff int64
+		for i, e := range ends {
+			if int64(cut) >= e {
+				wantRecs = i + 1
+				wantOff = e
+			}
+		}
+		got, rr, err := readAll(t, full[:cut], 0)
+		if len(got) != wantRecs {
+			t.Fatalf("cut %d: decoded %d records, want %d", cut, len(got), wantRecs)
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], payloads[i]) {
+				t.Fatalf("cut %d: record %d corrupted", cut, i)
+			}
+		}
+		atBoundary := int64(cut) == wantOff
+		if atBoundary && err != nil {
+			t.Fatalf("cut %d at record boundary: unexpected error %v", cut, err)
+		}
+		if !atBoundary && !errors.Is(err, ErrTruncatedRecord) {
+			t.Fatalf("cut %d mid-record: err = %v, want ErrTruncatedRecord", cut, err)
+		}
+		if rr.Offset() != wantOff {
+			t.Fatalf("cut %d: Offset() = %d, want %d", cut, rr.Offset(), wantOff)
+		}
+	}
+}
+
+func TestRecordChecksumMismatch(t *testing.T) {
+	full := AppendRecord(nil, []byte("intact"))
+	base := len(full)
+	full = AppendRecord(full, []byte("damaged"))
+	full[base+5+3] ^= 0x01 // flip a payload byte of the second record
+	got, rr, err := readAll(t, full, 0)
+	if len(got) != 1 || !bytes.Equal(got[0], []byte("intact")) {
+		t.Fatalf("intact prefix not returned: %q", got)
+	}
+	if !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("err = %v, want ErrCorruptRecord", err)
+	}
+	if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("undescriptive checksum error: %v", err)
+	}
+	if rr.Offset() != int64(base) {
+		t.Fatalf("Offset() = %d, want %d (end of intact record)", rr.Offset(), base)
+	}
+}
+
+func TestRecordOversizedLength(t *testing.T) {
+	// A length field far beyond the limit must be rejected before any
+	// payload allocation, with the limit in the message.
+	buf := []byte{0xFF, 0xFF, 0xFF, 0x7F} // uvarint ≈ 2^28
+	buf = append(buf, 0, 0, 0, 0)
+	_, _, err := readAll(t, buf, 1024)
+	if !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("err = %v, want ErrCorruptRecord", err)
+	}
+	if !strings.Contains(err.Error(), "1024") {
+		t.Fatalf("limit missing from error: %v", err)
+	}
+	// Same bytes under the default limit: still oversized.
+	_, _, err = readAll(t, buf, 0)
+	if !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("default limit: err = %v, want ErrCorruptRecord", err)
+	}
+}
+
+func TestRecordLengthPrefixOverflow(t *testing.T) {
+	// Ten continuation bytes overflow a uint64 length.
+	buf := bytes.Repeat([]byte{0xFF}, 9)
+	buf = append(buf, 0x7F)
+	_, _, err := readAll(t, buf, 0)
+	if !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("err = %v, want ErrCorruptRecord", err)
+	}
+}
+
+func TestRecordTruncatedChecksum(t *testing.T) {
+	full := AppendRecord(nil, []byte("xyz"))
+	_, _, err := readAll(t, full[:2], 0) // length byte + 1 of 4 crc bytes
+	if !errors.Is(err, ErrTruncatedRecord) {
+		t.Fatalf("err = %v, want ErrTruncatedRecord", err)
+	}
+	if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("undescriptive truncation error: %v", err)
+	}
+}

@@ -66,12 +66,48 @@ func writeHeader(w io.Writer, cfg Config, t *Trace) error {
 	return nil
 }
 
+// maxLogLine bounds one packet-log line. Real lines are a few hundred
+// bytes (one pkt record per source per epoch); anything beyond this is a
+// damaged or hostile log, rejected before it can balloon memory.
+const maxLogLine = 1 << 20
+
+// readLogLine reads one newline-terminated line from r without ever
+// buffering more than maxLogLine bytes. It reports whether the line was
+// terminated: a final line without its newline is a truncated record, and
+// ParseLog rejects it — the same torn-tail discipline the binary record
+// framing (frame.go) applies to the WAL.
+func readLogLine(r *bufio.Reader) (line string, terminated bool, err error) {
+	var buf []byte
+	for {
+		frag, err := r.ReadSlice('\n')
+		buf = append(buf, frag...)
+		if len(buf) > maxLogLine {
+			return "", false, fmt.Errorf("oversized record (exceeds %d bytes)", maxLogLine)
+		}
+		switch err {
+		case nil:
+			return string(buf[:len(buf)-1]), true, nil
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			return string(buf), false, nil
+		default:
+			return "", false, err
+		}
+	}
+}
+
 // ParseLog reconstructs a Trace from a packet log: records are accumulated
 // exactly as Generate does in memory, so UndirectedEdges, thresholds and
 // Network all work on the result.
+//
+// The reader is strict: unknown directives, out-of-range ids, directives
+// preceding the header, oversized lines, and a truncated final record (a
+// log that ends without a newline — a torn write) are all rejected with
+// descriptive errors wrapping ErrBadLog. A coverage deployment should fail
+// loudly on damaged observations, never silently drop them.
 func ParseLog(r io.Reader) (*Trace, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	br := bufio.NewReaderSize(r, 1<<16)
 
 	t := &Trace{
 		rssiSum: make(map[[2]graph.NodeID]float64),
@@ -79,9 +115,19 @@ func ParseLog(r io.Reader) (*Trace, error) {
 	}
 	total := -1
 	lineNo := 0
-	for sc.Scan() {
+	for {
+		raw, terminated, err := readLogLine(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrBadLog, lineNo+1, err)
+		}
+		if raw == "" && !terminated {
+			break // clean EOF at a record boundary
+		}
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
+		if !terminated {
+			return nil, fmt.Errorf("%w: line %d: truncated record (log ends without newline)", ErrBadLog, lineNo)
+		}
+		line := strings.TrimSpace(raw)
 		if line == "" {
 			continue
 		}
@@ -112,6 +158,9 @@ func ParseLog(r io.Reader) (*Trace, error) {
 				}
 			}
 		case "ring":
+			if total < 0 {
+				return nil, fmt.Errorf("%w: line %d: ring directive before header", ErrBadLog, lineNo)
+			}
 			for _, f := range fields[1:] {
 				id, err := parseID(f, total)
 				if err != nil {
@@ -120,6 +169,9 @@ func ParseLog(r io.Reader) (*Trace, error) {
 				t.Ring = append(t.Ring, id)
 			}
 		case "pos":
+			if total < 0 {
+				return nil, fmt.Errorf("%w: line %d: pos directive before header", ErrBadLog, lineNo)
+			}
 			if len(fields) != 4 {
 				return nil, fmt.Errorf("%w: line %d: pos needs 3 arguments", ErrBadLog, lineNo)
 			}
@@ -132,10 +184,13 @@ func ParseLog(r io.Reader) (*Trace, error) {
 			if errX != nil || errY != nil {
 				return nil, fmt.Errorf("%w: line %d: bad coordinates", ErrBadLog, lineNo)
 			}
-			if int(id) < len(t.Pts) {
-				t.Pts[id] = geom.Point{X: x, Y: y}
-			}
+			// parseID range-checked id against the header's node count, so
+			// the index is always in bounds here.
+			t.Pts[id] = geom.Point{X: x, Y: y}
 		case "pkt":
+			if total < 0 {
+				return nil, fmt.Errorf("%w: line %d: pkt directive before header", ErrBadLog, lineNo)
+			}
 			if len(fields) < 3 {
 				return nil, fmt.Errorf("%w: line %d: pkt needs epoch and source", ErrBadLog, lineNo)
 			}
@@ -166,9 +221,6 @@ func ParseLog(r io.Reader) (*Trace, error) {
 		default:
 			return nil, fmt.Errorf("%w: line %d: unknown directive %q", ErrBadLog, lineNo, fields[0])
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: read log: %w", err)
 	}
 	if total < 0 {
 		return nil, fmt.Errorf("%w: missing header", ErrBadLog)

@@ -97,6 +97,12 @@ func TestParseLogErrors(t *testing.T) {
 		{"bad epoch", "# greenorbs-sim v1 nodes=3\nring 0 1\npkt x 0 1:-50.0\n"},
 		{"bad pos", "# greenorbs-sim v1 nodes=3\nring 0 1\npos 0 a b\n"},
 		{"bad header kv", "# greenorbs-sim v1 nodes\nring 0\n"},
+		{"ring before header", "ring 0 1\n# greenorbs-sim v1 nodes=3\n"},
+		{"pos before header", "pos 0 1.0 1.0\n# greenorbs-sim v1 nodes=3\nring 0 1\n"},
+		{"pkt before header", "pkt 0 0 1:-50.0\n# greenorbs-sim v1 nodes=3\nring 0 1\n"},
+		{"truncated final line", "# greenorbs-sim v1 nodes=3\nring 0 1\npkt 0 0 1:-50.0"},
+		{"truncated header only", "# greenorbs-sim v1 nodes=3"},
+		{"oversized record", "# greenorbs-sim v1 nodes=3\nring 0 1\npkt 0 0 " + strings.Repeat("1:-50.0 ", 1<<18) + "\n"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -108,6 +114,25 @@ func TestParseLogErrors(t *testing.T) {
 				t.Fatalf("error not wrapped as ErrBadLog: %v", err)
 			}
 		})
+	}
+}
+
+// TestParseLogTruncationDescriptive pins the torn-tail contract: a log cut
+// mid-record must fail with a descriptive ErrBadLog error naming the
+// truncation, not silently parse the surviving prefix (the silent-stop
+// behaviour of the old Scanner-based reader).
+func TestParseLogTruncationDescriptive(t *testing.T) {
+	full := "# greenorbs-sim v1 nodes=3\nring 0 1\npkt 0 0 1:-50.0\npkt 0 1 0:-50.0\n"
+	if _, err := ParseLog(strings.NewReader(full)); err != nil {
+		t.Fatalf("intact log rejected: %v", err)
+	}
+	cut := full[:len(full)-3] // ends inside the last pkt record
+	_, err := ParseLog(strings.NewReader(cut))
+	if !errors.Is(err, ErrBadLog) {
+		t.Fatalf("truncated log: err = %v, want ErrBadLog", err)
+	}
+	if !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("undescriptive truncation error: %v", err)
 	}
 }
 

@@ -211,6 +211,47 @@ func (c *Cache) Remove(removed []graph.NodeID) []graph.NodeID {
 	return c.remove(removed)
 }
 
+// Restore revives a vertex previously removed through Commit/Remove — the
+// node-rejoin path of the streaming engine — and invalidates every cached
+// verdict within k live-path hops of v measured on the post-restore view.
+// The mirror-image soundness argument of Commit applies: an insertion only
+// ever shortens live distances, so any vertex whose Γ^k gained v (or gained
+// a path through v) is within k post-restore hops of v, and the
+// post-restore ball therefore covers everything whose verdict may have
+// changed. It returns the dirtied live vertices (v included) in increasing
+// ID order; a nil return means v was not a dead vertex of the base graph
+// and nothing changed.
+func (c *Cache) Restore(v graph.NodeID) []graph.NodeID {
+	if !c.view.Restore(v) {
+		return nil
+	}
+	dirty := c.view.KHopBallIndices(v, c.k, c.scratch)
+	vi, _ := c.g.IndexOf(v)
+	out := make([]graph.NodeID, 0, len(dirty)+1)
+	mark := func(bi int32) {
+		if c.verdict[bi] != verdictUnknown {
+			c.stats.Invalidated++
+		}
+		c.verdict[bi] = verdictUnknown
+		out = append(out, c.g.NodeAt(int(bi)))
+	}
+	// dirty is sorted by base index (= increasing ID) and excludes v;
+	// splice v in at its place.
+	placed := false
+	for _, bi := range dirty {
+		if !placed && int32(vi) < bi {
+			mark(int32(vi))
+			placed = true
+		}
+		mark(bi)
+	}
+	if !placed {
+		mark(int32(vi))
+	}
+	debugAuditClean(c)
+	return out
+}
+
 func (c *Cache) remove(del []graph.NodeID) []graph.NodeID {
 	// Union of the pre-removal k-hop balls. KHopBallIndices reuses the
 	// scratch ball buffer, so copy per vertex.

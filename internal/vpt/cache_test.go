@@ -226,10 +226,84 @@ func TestCacheComputeFreshAndStore(t *testing.T) {
 	}
 }
 
-// FuzzCacheConsistency drives a cache through random Commit/Remove
-// sequences on random connected graphs and asserts every live verdict
-// always equals fresh recomputation — the end-to-end statement of the
-// dirty-radius soundness argument.
+// TestCacheRestore pins the node-rejoin path of the streaming engine:
+// Restore revives a removed vertex, dirties exactly the post-restore
+// k-hop ball plus the vertex itself, and leaves every live verdict equal
+// to fresh recomputation.
+func TestCacheRestore(t *testing.T) {
+	g := graph.TriangulatedGrid(6, 6)
+	for _, tau := range []int{3, 4, 5} {
+		c := NewCache(g, tau)
+		// Warm everything so invalidation is observable.
+		for _, v := range c.LiveNodes() {
+			c.Deletable(v)
+		}
+		v := graph.NodeID(2*6 + 3)
+		c.Commit([]graph.NodeID{v})
+		checkAgainstFresh(t, c, "after commit")
+
+		dirty := c.Restore(v)
+		if !c.Alive(v) {
+			t.Fatalf("tau %d: restored vertex %d not alive", tau, v)
+		}
+		// Expected dirty set: post-restore ball of v, plus v, sorted.
+		after := c.LiveGraph()
+		want := after.KHopNeighbors(v, c.Radius())
+		want = append(want, v)
+		sortNodeIDs(want)
+		if !reflect.DeepEqual(dirty, want) {
+			t.Fatalf("tau %d: Restore dirty = %v, want post-restore ball %v", tau, dirty, want)
+		}
+		checkAgainstFresh(t, c, "after restore")
+	}
+}
+
+// TestCacheRestoreNoop: Restore of live or absent vertices changes nothing.
+func TestCacheRestoreNoop(t *testing.T) {
+	g := graph.TriangulatedGrid(4, 4)
+	c := NewCache(g, 3)
+	if got := c.Restore(5); got != nil {
+		t.Fatalf("Restore(live) dirtied %v", got)
+	}
+	if got := c.Restore(999); got != nil {
+		t.Fatalf("Restore(absent) dirtied %v", got)
+	}
+}
+
+// TestCacheDeleteRestoreRoundTrip: a full delete+restore cycle must return
+// the cache to a state verdict-equivalent to never having deleted at all.
+func TestCacheDeleteRestoreRoundTrip(t *testing.T) {
+	g := graph.TriangulatedGrid(5, 5)
+	c := NewCache(g, 4)
+	ref := NewCache(g, 4)
+	vs := []graph.NodeID{7, 12, 18}
+	c.Commit(vs)
+	for _, v := range vs {
+		c.Restore(v)
+	}
+	if c.View().NumLive() != ref.View().NumLive() {
+		t.Fatalf("NumLive %d after round trip, want %d", c.View().NumLive(), ref.View().NumLive())
+	}
+	for _, v := range c.LiveNodes() {
+		if got, want := c.Deletable(v), ref.Deletable(v); got != want {
+			t.Fatalf("verdict(%d) = %v after delete+restore round trip, fresh cache says %v", v, got, want)
+		}
+	}
+}
+
+func sortNodeIDs(vs []graph.NodeID) {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}
+
+// FuzzCacheConsistency drives a cache through random interleaved
+// Commit/Remove/Restore sequences on random connected graphs and asserts
+// every live verdict always equals fresh recomputation — the end-to-end
+// statement of the dirty-radius soundness argument, in both directions
+// (deletions shrink the live graph, restores grow it back).
 func FuzzCacheConsistency(f *testing.F) {
 	f.Add(int64(1), 12, 3)
 	f.Add(int64(2), 20, 4)
@@ -242,7 +316,8 @@ func FuzzCacheConsistency(f *testing.F) {
 		r := rand.New(rand.NewSource(seed))
 		g := randomConnected(r, n, 0.15)
 		c := NewCache(g, tau)
-		for step := 0; step < 6; step++ {
+		var dead []graph.NodeID
+		for step := 0; step < 8; step++ {
 			live := c.LiveNodes()
 			if len(live) == 0 {
 				break
@@ -253,17 +328,29 @@ func FuzzCacheConsistency(f *testing.F) {
 					c.Deletable(v)
 				}
 			}
-			v := live[r.Intn(len(live))]
-			if r.Float64() < 0.5 {
-				c.Commit([]graph.NodeID{v})
+			var acted graph.NodeID
+			if len(dead) > 0 && r.Float64() < 0.4 {
+				// Re-insert a random dead vertex (node-join path).
+				i := r.Intn(len(dead))
+				acted = dead[i]
+				dead = append(dead[:i], dead[i+1:]...)
+				if got := c.Restore(acted); got == nil {
+					t.Fatalf("step %d: Restore(%d) of dead vertex returned nil", step, acted)
+				}
 			} else {
-				c.Remove([]graph.NodeID{v})
+				acted = live[r.Intn(len(live))]
+				if r.Float64() < 0.5 {
+					c.Commit([]graph.NodeID{acted})
+				} else {
+					c.Remove([]graph.NodeID{acted})
+				}
+				dead = append(dead, acted)
 			}
 			fresh := c.LiveGraph()
 			for _, w := range c.LiveNodes() {
 				if got, want := c.Deletable(w), VertexDeletable(fresh, w, tau); got != want {
-					t.Fatalf("step %d: node %d cache=%v fresh=%v (seed=%d n=%d tau=%d, deleted %d)",
-						step, w, got, want, seed, n, tau, v)
+					t.Fatalf("step %d: node %d cache=%v fresh=%v (seed=%d n=%d tau=%d, acted on %d)",
+						step, w, got, want, seed, n, tau, acted)
 				}
 			}
 		}

@@ -12,6 +12,11 @@
 #                             speedup targets of the incremental
 #                             deletability engine (≥2× sequential vs
 #                             baseline, parallel speedup > 1.0)
+#   BENCH_stream.json       — the streaming-engine record: sustained
+#                             events/sec under coalescing backpressure and
+#                             p50/p99 per-event update latency (stepped,
+#                             with re-election), against the from-scratch
+#                             canonical-schedule cost per poll
 #
 # Output is byte-identical across worker counts (the engine's determinism
 # contract; see DESIGN.md §9) — only wall-clock changes. Usage:
@@ -99,3 +104,30 @@ cat > BENCH_incremental.json <<EOF
 }
 EOF
 echo "== wrote BENCH_incremental.json (baseline ${BASELINE}s -> ${T1}s, ${INCR}x)"
+
+echo "== bench: streaming replay, nodes=$NODES"
+STREAM_LINE=$(/tmp/dccsim.bench -fig streaming -runs 2 -nodes "$NODES" -workers "$WORKERS" \
+    | awk '/\[stream-bench\]/ { print }')
+stream_field() {
+    printf '%s\n' "$STREAM_LINE" | tr ' ' '\n' | awk -F= -v k="$1" '$1 == k { print $2 }'
+}
+EPS=$(stream_field events_per_sec)
+P50US=$(stream_field p50_event_us)
+P99US=$(stream_field p99_event_us)
+BATCHUS=$(stream_field batch_schedule_us)
+EVENTS=$(stream_field events)
+echo "   sustained:        ${EPS} events/sec"
+echo "   p99 update:       ${P99US}us (from-scratch schedule: ${BATCHUS}us)"
+cat > BENCH_stream.json <<EOF
+{
+  "bench": "streaming-replay",
+  "nodes": $NODES,
+  "events": $EVENTS,
+  "cpus": $CPUS,
+  "events_per_sec": $EPS,
+  "p50_event_us": $P50US,
+  "p99_event_us": $P99US,
+  "from_scratch_schedule_us": $BATCHUS
+}
+EOF
+echo "== wrote BENCH_stream.json"

@@ -83,11 +83,18 @@ echo '== chaos smoke (race + deep assertions)'
 # plain gate above covers. -short trims the matrix to a smoke-sized slice.
 go test -short -race -tags dccdebug -run '^TestChaosMatrix$' ./internal/dist
 
+echo '== streaming chaos smoke (race + deep assertions)'
+# The event-stream chaos harness: crash-restart at seeded WAL offsets with
+# producer redelivery, torn snapshots, and the WAL mutation matrix, with
+# the dccdebug memo cross-checks armed.
+go test -short -race -tags dccdebug -run '^TestStreamChaosMatrix$' ./internal/stream
+
 echo "== fuzz smoke (${FUZZTIME} per target)"
 go test -run=NONE -fuzz='^FuzzVectorXOR$' -fuzztime="$FUZZTIME" ./internal/bitvec
 go test -run=NONE -fuzz='^FuzzRank$' -fuzztime="$FUZZTIME" ./internal/bitvec
 go test -run=NONE -fuzz='^FuzzFrameRoundTrip$' -fuzztime="$FUZZTIME" ./internal/dist
 go test -run=NONE -fuzz='^FuzzCacheConsistency$' -fuzztime="$FUZZTIME" ./internal/vpt
 go test -run=NONE -fuzz='^FuzzScenarioDeterminism$' -fuzztime="$FUZZTIME" ./internal/scenario
+go test -run=NONE -fuzz='^FuzzWALReplay$' -fuzztime="$FUZZTIME" ./internal/stream
 
 echo 'check.sh: all gates passed'
