@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
 	"time"
 
 	"dcc"
@@ -12,6 +11,7 @@ import (
 	"dcc/internal/geom"
 	"dcc/internal/graph"
 	"dcc/internal/stream"
+	"dcc/internal/telemetry"
 )
 
 // streamingThroughput is the wall-clock half of the streaming figure (the
@@ -19,16 +19,24 @@ import (
 // deterministic and timing-free). It replays one mutation stream twice:
 //
 //   - stepped: every event is applied and the cover re-elected immediately
-//     — the per-event update-latency profile (p99 reported);
+//     under a dccsim.stream_step span — the per-event update-latency
+//     profile (p50/p99 read back from the span's timing histogram);
 //   - batched: events are ingested under the engine's coalescing
 //     backpressure with a bounded-staleness consumer polling every 50
-//     events — the sustained events/sec figure.
+//     events — the sustained events/sec figure (dccsim.stream_batch span).
 //
 // A from-scratch canonical schedule of the final topology is timed as the
-// baseline an operator would pay per poll without incremental maintenance.
-// The [stream-bench] line is machine-readable; scripts/bench.sh turns it
-// into BENCH_stream.json.
-func streamingThroughput(w io.Writer, seed int64, nodes, events int) error {
+// baseline an operator would pay per poll without incremental maintenance
+// (dccsim.batch_schedule span). All timing flows through the registry's
+// clock; the percentiles are histogram-bucket upper edges, so they are
+// conservative. The [stream-bench] line is machine-readable;
+// scripts/bench.sh turns it into BENCH_stream.json.
+func streamingThroughput(w io.Writer, reg *telemetry.Registry, seed int64, nodes, events int) error {
+	if reg == nil {
+		// -telemetry=false: the bench still needs a clock, so it runs on a
+		// private registry instead of silently reporting zeros.
+		reg = telemetry.NewWithClock(telemetry.WallClock{})
+	}
 	dep, err := dcc.Deploy(dcc.DeployOptions{
 		Nodes: nodes, AvgDegree: 25, Gamma: math.Sqrt(3), Seed: seed,
 	})
@@ -40,7 +48,7 @@ func streamingThroughput(w io.Writer, seed int64, nodes, events int) error {
 	for i, p := range dep.Points {
 		pos[graph.NodeID(i)] = p
 	}
-	cfg := stream.Config{Tau: 4, Seed: seed, Radius: dep.Rc, Positions: pos}
+	cfg := stream.Config{Tau: 4, Seed: seed, Radius: dep.Rc, Positions: pos, Telemetry: reg}
 
 	// Pre-generate the stream so synthesis cost stays out of the timings.
 	mut := stream.NewMutator(net, cfg, seed+1)
@@ -54,25 +62,24 @@ func streamingThroughput(w io.Writer, seed int64, nodes, events int) error {
 	if err != nil {
 		return err
 	}
-	lat := make([]time.Duration, 0, events)
+	stepHist := reg.TimingHistogram("dccsim.stream_step")
 	for _, ev := range evs {
-		t0 := time.Now()
+		sp := reg.StartSpan("dccsim.stream_step")
 		if err := eng.Step(ev); err != nil {
 			return fmt.Errorf("streaming bench: %w", err)
 		}
 		eng.Cover()
-		lat = append(lat, time.Since(t0))
+		sp.End()
 	}
-	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	p50 := lat[len(lat)/2]
-	p99 := lat[len(lat)*99/100]
+	p50 := time.Duration(stepHist.Quantile(0.5))
+	p99 := time.Duration(stepHist.Quantile(0.99))
 
 	// Batched replay: sustained ingest with a bounded-staleness consumer.
 	eng2, err := stream.New(net, cfg)
 	if err != nil {
 		return err
 	}
-	t0 := time.Now()
+	spBatch := reg.StartSpan("dccsim.stream_batch")
 	for i, ev := range evs {
 		if err := eng2.Ingest(ev); err != nil {
 			return fmt.Errorf("streaming bench: %w", err)
@@ -82,17 +89,19 @@ func streamingThroughput(w io.Writer, seed int64, nodes, events int) error {
 		}
 	}
 	eng2.Cover()
-	batched := time.Since(t0)
+	batched := time.Duration(spBatch.End())
 	perSec := float64(events) / batched.Seconds()
 
 	// Baseline: one from-scratch canonical schedule of the final topology —
 	// the per-poll cost without incremental maintenance.
 	final := eng2.MaterializedNetwork()
-	t0 = time.Now()
-	if _, err := core.Schedule(final, core.Options{Tau: 4, Seed: seed, Mode: core.Canonical}); err != nil {
+	spSched := reg.StartSpan("dccsim.batch_schedule")
+	if _, err := core.Schedule(final, core.Options{
+		Tau: 4, Seed: seed, Mode: core.Canonical, Telemetry: reg,
+	}); err != nil {
 		return err
 	}
-	batch := time.Since(t0)
+	batch := time.Duration(spSched.End())
 
 	st := eng2.Stats()
 	fmt.Fprintf(w, "  throughput: %.0f events/sec sustained (batched, coalesced %d of %d)\n",

@@ -110,6 +110,7 @@ func CanonicalElect(net Network, seed int64, cache *vpt.Cache, test func(v graph
 
 func scheduleCanonical(net Network, opts Options) (Result, error) {
 	cache := vpt.NewCache(net.G, opts.Tau)
+	cache.Instrument(opts.Telemetry)
 	deleted, tests := CanonicalElect(net, opts.Seed, cache, cache.Deletable)
 	stats := Stats{Rounds: 1, Tests: tests}
 	return finishResult(net, cache.LiveGraph(), deleted, stats), nil

@@ -30,6 +30,7 @@ import (
 	"dcc/internal/cycles"
 	"dcc/internal/graph"
 	"dcc/internal/runner"
+	"dcc/internal/telemetry"
 	"dcc/internal/vpt"
 )
 
@@ -171,6 +172,13 @@ type Options struct {
 	// Workers bounds the concurrency of deletability tests in Parallel
 	// mode; 0 means GOMAXPROCS.
 	Workers int
+	// Telemetry, when non-nil, receives the run's metrics: the core.runs /
+	// core.rounds / core.tests / core.deletions counters, the vpt cache
+	// series (vpt.lookups, vpt.computes, vpt.invalidated, vpt.dirty_ball),
+	// and — when the registry has a clock — the core.schedule span. All
+	// deterministic series are worker-count-invariant; collection never
+	// changes the Result.
+	Telemetry *telemetry.Registry
 }
 
 // Stats records the work performed by a scheduling run. The field
@@ -216,16 +224,30 @@ func Schedule(net Network, opts Options) (Result, error) {
 	if opts.Mode == 0 {
 		opts.Mode = Sequential
 	}
+	sp := opts.Telemetry.StartSpan("core.schedule")
+	defer sp.End()
+	var (
+		res Result
+		err error
+	)
 	switch opts.Mode {
 	case Sequential:
-		return scheduleSequential(net, opts)
+		res, err = scheduleSequential(net, opts)
 	case Parallel:
-		return scheduleParallel(net, opts)
+		res, err = scheduleParallel(net, opts)
 	case Canonical:
-		return scheduleCanonical(net, opts)
+		res, err = scheduleCanonical(net, opts)
 	default:
 		return Result{}, fmt.Errorf("core: unknown mode %d", opts.Mode)
 	}
+	if err == nil && opts.Telemetry != nil {
+		reg := opts.Telemetry
+		reg.Counter("core.runs").Inc()
+		reg.Counter("core.rounds").Add(int64(res.Stats.Rounds))
+		reg.Counter("core.tests").Add(int64(res.Stats.Tests))
+		reg.Counter("core.deletions").Add(int64(res.Stats.Deletions))
+	}
+	return res, err
 }
 
 func finishResult(net Network, g *graph.Graph, deleted []graph.NodeID, stats Stats) Result {
@@ -250,6 +272,7 @@ func finishResult(net Network, g *graph.Graph, deleted []graph.NodeID, stats Sta
 func scheduleSequential(net Network, opts Options) (Result, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	cache := vpt.NewCache(net.G, opts.Tau)
+	cache.Instrument(opts.Telemetry)
 
 	queue := net.InternalNodes()
 	rng.Shuffle(len(queue), func(i, j int) { queue[i], queue[j] = queue[j], queue[i] })
@@ -348,6 +371,7 @@ func cachedVerdicts(cache *vpt.Cache, toTest []graph.NodeID, workers int) []bool
 func scheduleParallel(net Network, opts Options) (Result, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	cache := vpt.NewCache(net.G, opts.Tau)
+	cache.Instrument(opts.Telemetry)
 	view := cache.View()
 	m := vpt.IndependenceRadius(opts.Tau)
 	scratch := graph.NewScratch(net.G)

@@ -34,6 +34,7 @@ import (
 
 	"dcc/internal/core"
 	"dcc/internal/graph"
+	"dcc/internal/telemetry"
 	"dcc/internal/vpt"
 )
 
@@ -64,6 +65,11 @@ type Config struct {
 	// crash and crash-recover times, Gilbert–Elliott bursty link loss,
 	// and timed partition/heal events, all reproducible from the plan.
 	Faults *FaultPlan
+	// Telemetry, when non-nil, receives the run's Stats as deterministic
+	// dist.* counters (comm_rounds, broadcasts, retransmits, ...) plus —
+	// when the registry has a clock — the dist.run span. Published after
+	// the run completes; collection never changes the Result.
+	Telemetry *telemetry.Registry
 }
 
 // Stats counts the communication work of a run.
@@ -157,10 +163,38 @@ func Run(net core.Network, cfg Config) (Result, error) {
 			return Result{}, err
 		}
 	}
+	sp := cfg.Telemetry.StartSpan("dist.run")
+	defer sp.End()
 	r := newRuntime(net, cfg)
 	r.discover()
 	r.mainLoop()
-	return r.result(), nil
+	res := r.result()
+	publishRunStats(cfg.Telemetry, res.Stats)
+	return res, nil
+}
+
+// publishRunStats mirrors a completed run's Stats into deterministic
+// counters. Stats are a pure function of (Network, Config), so the
+// counters stay worker-count-invariant no matter how runs are fanned out.
+func publishRunStats(reg *telemetry.Registry, s Stats) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("dist.runs").Inc()
+	reg.Counter("dist.comm_rounds").Add(int64(s.CommRounds))
+	reg.Counter("dist.broadcasts").Add(int64(s.Broadcasts))
+	reg.Counter("dist.delivered").Add(int64(s.Delivered))
+	reg.Counter("dist.bytes_sent").Add(int64(s.BytesSent))
+	reg.Counter("dist.bytes_delivered").Add(int64(s.BytesDelivered))
+	reg.Counter("dist.rounds").Add(int64(s.Rounds))
+	reg.Counter("dist.deletions").Add(int64(s.Deletions))
+	reg.Counter("dist.tests").Add(int64(s.Tests))
+	reg.Counter("dist.ack_frames").Add(int64(s.AckFrames))
+	reg.Counter("dist.ack_bytes").Add(int64(s.AckBytes))
+	reg.Counter("dist.retransmits").Add(int64(s.Retransmits))
+	reg.Counter("dist.withdrawals").Add(int64(s.Withdrawals))
+	reg.Counter("dist.suspicions").Add(int64(s.Suspicions))
+	reg.Counter("dist.independence_violations").Add(int64(s.IndependenceViolations))
 }
 
 type runtime struct {

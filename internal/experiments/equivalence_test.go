@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
 	"math"
 	"reflect"
@@ -8,6 +9,7 @@ import (
 	"testing"
 
 	"dcc/internal/runner"
+	"dcc/internal/telemetry"
 )
 
 // equivalenceWorkers (declared in equivalence_workers_*.go) are the pool
@@ -47,6 +49,26 @@ func equivCases() []struct {
 		{"ScenarioOracles", figCfg, func(w io.Writer, cfg Config) (any, error) { return ScenarioOracles(w, cfg) }},
 		{"ScenarioStability", figCfg, func(w io.Writer, cfg Config) (any, error) { return ScenarioStability(w, cfg) }},
 		{"Streaming", figCfg, func(w io.Writer, cfg Config) (any, error) { return Streaming(w, cfg) }},
+		// Telemetry re-runs a figure and the streaming experiment with a
+		// live registry (manual clock, instrumented worker pool) and folds
+		// the registry's deterministic-class fingerprint into the compared
+		// output, pinning that every deterministic series is itself
+		// worker-count-invariant — not just that collection is harmless.
+		{"Telemetry", figCfg, func(w io.Writer, cfg Config) (any, error) {
+			reg := telemetry.NewWithClock(&telemetry.ManualClock{Tick: 1})
+			runner.Instrument(reg)
+			defer runner.Instrument(nil)
+			cfg.Telemetry = reg
+			if _, err := Figure6(w, cfg); err != nil {
+				return nil, err
+			}
+			res, err := Streaming(w, cfg)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(w, "  deterministic telemetry fingerprint: %x\n", reg.Fingerprint())
+			return res, nil
+		}},
 	}
 }
 

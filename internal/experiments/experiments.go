@@ -28,6 +28,7 @@ import (
 	"dcc/internal/nets"
 	"dcc/internal/runner"
 	"dcc/internal/stats"
+	"dcc/internal/telemetry"
 	"dcc/internal/trace"
 )
 
@@ -50,6 +51,11 @@ type Config struct {
 	// Workers bounds the number of Monte-Carlo runs in flight at once
 	// (0 = GOMAXPROCS, 1 = sequential). Results are worker-count-invariant.
 	Workers int
+	// Telemetry, when non-nil, is threaded into the scheduling engines
+	// (core.Options.Telemetry) and receives post-barrier aggregates from
+	// the streaming experiment. Deterministic series stay worker-count-
+	// invariant; enabling collection never changes any figure's output.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -484,7 +490,7 @@ func Figure6(w io.Writer, cfg Config) (Figure6Result, error) {
 	const firstTau, lastTau = 3, 8
 	results, err := runner.Map(lastTau-firstTau+1, cfg.Workers, func(i int) (core.Result, error) {
 		return core.Schedule(net, core.Options{
-			Tau: firstTau + i, Seed: cfg.Seed,
+			Tau: firstTau + i, Seed: cfg.Seed, Telemetry: cfg.Telemetry,
 		})
 	})
 	if err != nil {
@@ -533,7 +539,7 @@ func Figure7(w io.Writer, cfg Config) (Figure7Result, error) {
 	const firstTau, lastTau = 3, 7
 	results, err := runner.Map(lastTau-firstTau+1, cfg.Workers, func(i int) (core.Result, error) {
 		return core.Schedule(net, core.Options{
-			Tau: firstTau + i, Seed: cfg.Seed,
+			Tau: firstTau + i, Seed: cfg.Seed, Telemetry: cfg.Telemetry,
 		})
 	})
 	if err != nil {

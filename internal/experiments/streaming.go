@@ -159,6 +159,32 @@ func Streaming(w io.Writer, cfg Config) (StreamingResult, error) {
 		hits += float64(r.st.MemoHits)
 		misses += float64(r.st.MemoMisses)
 	}
+	// Aggregate telemetry is published only here, after the barrier: the
+	// per-run engines never see the registry, so no gauge is ever written
+	// from a concurrent worker and the counter totals are plain sums of a
+	// worker-count-invariant multiset.
+	if reg := cfg.Telemetry; reg != nil {
+		var applied, coalesced, rebuilds, restores, elections, hits, misses int64
+		for _, r := range perRun {
+			applied += int64(r.st.Applied)
+			coalesced += int64(r.st.Coalesced)
+			rebuilds += int64(r.st.Rebuilds)
+			restores += int64(r.st.FastRestores)
+			elections += int64(r.st.Elections)
+			hits += int64(r.st.MemoHits)
+			misses += int64(r.st.MemoMisses)
+		}
+		reg.Counter("experiments.stream.applied").Add(applied)
+		reg.Counter("experiments.stream.coalesced").Add(coalesced)
+		reg.Counter("experiments.stream.rebuilds").Add(rebuilds)
+		reg.Counter("experiments.stream.fast_restores").Add(restores)
+		reg.Counter("experiments.stream.elections").Add(elections)
+		reg.Counter("experiments.stream.memo_hits").Add(hits)
+		reg.Counter("experiments.stream.memo_misses").Add(misses)
+		reg.Counter("experiments.stream.converged").Add(int64(out.Converged))
+		reg.Counter("experiments.stream.recovered").Add(int64(out.Recovered))
+	}
+
 	n := float64(cfg.Runs)
 	out.AvgApplied /= n
 	out.AvgCoalesced /= n

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dcc/internal/telemetry"
+)
+
+// TestTelemetryDoesNotPerturbResults pins the observability contract of
+// DESIGN.md §14 from the experiment layer: enabling telemetry collection
+// changes neither a figure's bytes nor its result struct, and the
+// registry actually accumulates the deterministic series it promises.
+func TestTelemetryDoesNotPerturbResults(t *testing.T) {
+	cfg := Config{Seed: 1, Runs: 2, Nodes: 100, MaxTau: 5, Quick: true, Workers: 4}
+
+	type runFn func(w *strings.Builder, cfg Config) (any, error)
+	cases := []struct {
+		name string
+		run  runFn
+	}{
+		{"Figure6", func(w *strings.Builder, cfg Config) (any, error) { return Figure6(w, cfg) }},
+		{"Streaming", func(w *strings.Builder, cfg Config) (any, error) { return Streaming(w, cfg) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var off strings.Builder
+			resOff, err := c.run(&off, cfg)
+			if err != nil {
+				t.Fatalf("telemetry off: %v", err)
+			}
+
+			reg := telemetry.NewWithClock(&telemetry.ManualClock{Tick: 1})
+			on := cfg
+			on.Telemetry = reg
+			var onOut strings.Builder
+			resOn, err := c.run(&onOut, on)
+			if err != nil {
+				t.Fatalf("telemetry on: %v", err)
+			}
+
+			if off.String() != onOut.String() {
+				t.Fatalf("enabling telemetry changed the output\n--- off ---\n%s\n--- on ---\n%s",
+					off.String(), onOut.String())
+			}
+			if !deepEqualNaN(reflect.ValueOf(resOff), reflect.ValueOf(resOn)) {
+				t.Fatalf("enabling telemetry changed the result struct:\noff %+v\non  %+v", resOff, resOn)
+			}
+		})
+	}
+}
+
+// TestTelemetrySeriesPopulated asserts the wiring is live: a figure run
+// with a registry attached must account for every scheduled run and
+// every verdict-cache lookup, and the streaming experiment must publish
+// its post-barrier aggregates.
+func TestTelemetrySeriesPopulated(t *testing.T) {
+	cfg := Config{Seed: 1, Runs: 2, Nodes: 100, MaxTau: 5, Quick: true, Workers: 4}
+	reg := telemetry.NewWithClock(&telemetry.ManualClock{Tick: 1})
+	cfg.Telemetry = reg
+
+	if _, err := Figure6(&strings.Builder{}, cfg); err != nil {
+		t.Fatalf("Figure6: %v", err)
+	}
+	// Figure6 schedules τ=3..8 over one deployment: exactly 6 runs.
+	if got := reg.Counter("core.runs").Value(); got != 6 {
+		t.Fatalf("core.runs = %d, want 6", got)
+	}
+	for _, name := range []string{"core.tests", "vpt.lookups"} {
+		if reg.Counter(name).Value() == 0 {
+			t.Fatalf("counter %s stayed zero after an instrumented Figure6 run", name)
+		}
+	}
+
+	res, err := Streaming(&strings.Builder{}, cfg)
+	if err != nil {
+		t.Fatalf("Streaming: %v", err)
+	}
+	if got, want := reg.Counter("experiments.stream.converged").Value(), int64(res.Converged); got != want {
+		t.Fatalf("experiments.stream.converged = %d, want %d", got, want)
+	}
+	if got, want := reg.Counter("experiments.stream.recovered").Value(), int64(res.Recovered); got != want {
+		t.Fatalf("experiments.stream.recovered = %d, want %d", got, want)
+	}
+	if reg.Counter("experiments.stream.applied").Value() == 0 {
+		t.Fatal("experiments.stream.applied stayed zero after an instrumented Streaming run")
+	}
+}

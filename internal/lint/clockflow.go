@@ -1,0 +1,296 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The clockflow analyzer is the static half of the observability contract
+// (DESIGN.md §14): telemetry may *measure* the engines, but timing values
+// must never *influence* them. Timing enters through exactly two doors —
+// the time package and the telemetry package's reading surface
+// (Clock.Now, Span.End, Hist.Quantile) — and clockflow taint-tracks every
+// value derived from those doors through the intraprocedural value-flow
+// index (flow.go). In simulation packages (dcc/internal/..., telemetry
+// itself excepted) a tainted value may only flow back into the telemetry
+// package; reaching a branch condition, a store into state, an argument of
+// a non-telemetry call, or a return value is a finding. Everywhere —
+// including cmd/ and the telemetry package — a tainted value feeding a
+// rand seed or runner.DeriveSeed is a finding: a timing-dependent seed
+// silently destroys "reproducible from Config alone" no matter which
+// layer it happens in.
+//
+// The analysis is intraprocedural and flag-conservative like the rest of
+// the framework: a flow it cannot prove is not reported.
+
+// telemetryPkg is the one simulation package allowed to hold timing
+// values; its reading surface is the sanctioned source set.
+const telemetryPkg = "dcc/internal/telemetry"
+
+// timingSourceMethods are the telemetry functions whose results carry
+// timing (or otherwise scheduler-dependent) values.
+var timingSourceMethods = map[string]bool{
+	"Now":      true, // Clock.Now, WallClock.Now, ManualClock.Now
+	"End":      true, // Span.End (duration)
+	"Quantile": true, // Hist.Quantile (timing-class reads in practice)
+}
+
+// timingTimeFuncs are the time-package sources. The wallclock analyzer
+// already bans them in simulation packages; clockflow additionally tracks
+// what their results flow into, everywhere.
+var timingTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// ClockFlowAnalyzer proves no timing value reaches algorithmic state,
+// seeds, or control flow in simulation packages.
+var ClockFlowAnalyzer = &Analyzer{
+	Name: "clockflow",
+	Doc:  "timing-derived value reaching state, seeds, or control flow (telemetry must measure, never steer)",
+	Run:  runClockFlow,
+}
+
+func runClockFlow(pass *Pass) {
+	path := pass.Pkg.Path
+	// strict: full sink set (simulation packages, telemetry excepted).
+	// Elsewhere (cmd/, root, telemetry itself) only seed sinks apply:
+	// operator-facing timing output is the point of a cmd binary.
+	strict := strings.HasPrefix(path, simPkgPrefix) &&
+		path != telemetryPkg && !strings.HasPrefix(path, telemetryPkg+"/")
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			cf := &clockFlow{pass: pass, ff: newFuncFlow(pass, fn), strict: strict}
+			cf.walk(fn.Body)
+		}
+	}
+}
+
+// clockFlow is the per-function sink walk.
+type clockFlow struct {
+	pass   *Pass
+	ff     *funcFlow
+	strict bool
+}
+
+func (cf *clockFlow) walk(body ast.Node) {
+	pkg := cf.pass.Pkg.Path
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.IfStmt:
+			if cf.strict && cf.tainted(s.Cond) {
+				cf.pass.Reportf(s.Cond.Pos(), "",
+					"timing-derived value controls a branch in simulation package %s; telemetry must measure, never steer", pkg)
+			}
+		case *ast.ForStmt:
+			if cf.strict && s.Cond != nil && cf.tainted(s.Cond) {
+				cf.pass.Reportf(s.Cond.Pos(), "",
+					"timing-derived value controls a loop in simulation package %s; telemetry must measure, never steer", pkg)
+			}
+		case *ast.SwitchStmt:
+			if cf.strict && s.Tag != nil && cf.tainted(s.Tag) {
+				cf.pass.Reportf(s.Tag.Pos(), "",
+					"timing-derived value controls a switch in simulation package %s; telemetry must measure, never steer", pkg)
+			}
+		case *ast.CaseClause:
+			if !cf.strict {
+				return true
+			}
+			for _, e := range s.List {
+				if cf.tainted(e) {
+					cf.pass.Reportf(e.Pos(), "",
+						"timing-derived value controls a case in simulation package %s; telemetry must measure, never steer", pkg)
+				}
+			}
+		case *ast.AssignStmt:
+			if !cf.strict {
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				// Stores into fields, elements or pointees are state;
+				// plain local assignments are propagation, handled by the
+				// taint index.
+				switch ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+				default:
+					continue
+				}
+				var rhs ast.Expr
+				if len(s.Lhs) == len(s.Rhs) {
+					rhs = s.Rhs[i]
+				} else if len(s.Rhs) == 1 {
+					rhs = s.Rhs[0]
+				}
+				if rhs != nil && cf.tainted(rhs) {
+					cf.pass.Reportf(rhs.Pos(), "",
+						"timing-derived value stored into state in simulation package %s", pkg)
+				}
+			}
+		case *ast.ReturnStmt:
+			if !cf.strict {
+				return true
+			}
+			for _, res := range s.Results {
+				if cf.tainted(res) {
+					cf.pass.Reportf(res.Pos(), "",
+						"timing-derived value returned from simulation package %s", pkg)
+				}
+			}
+		case *ast.CallExpr:
+			cf.checkCall(s)
+		}
+		return true
+	})
+}
+
+// checkCall applies the call sinks: seed arguments everywhere, and — in
+// strict packages — any tainted argument escaping into a non-telemetry
+// call.
+func (cf *clockFlow) checkCall(call *ast.CallExpr) {
+	pass := cf.pass
+	if isConversion(pass, call) {
+		return // conversions are taint propagation, not calls
+	}
+	fn := pass.calleeFunc(call)
+
+	// Seed sinks, in every package. Every argument of a sink shapes the
+	// seed (for DeriveSeed: base, stream and run all do).
+	if isSeedSinkFunc(fn) {
+		for _, arg := range call.Args {
+			if cf.tainted(arg) {
+				pass.Reportf(arg.Pos(), "",
+					"timing-derived value seeds %s; seeds must be reproducible from Config alone", fn.FullName())
+			}
+		}
+		return
+	}
+	if !cf.strict {
+		return
+	}
+	// Telemetry's own surface is the sanctioned destination for timing
+	// values (Hist.Observe, span plumbing).
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == telemetryPkg {
+		return
+	}
+	for _, arg := range call.Args {
+		if cf.tainted(arg) {
+			pass.Reportf(arg.Pos(), "",
+				"timing-derived value escapes into a call argument in simulation package %s", pass.Pkg.Path)
+		}
+	}
+}
+
+// isSeedSinkFunc matches the functions whose arguments become RNG seeds.
+func isSeedSinkFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		switch fn.Name() {
+		case "NewSource", "NewPCG", "Seed":
+			return true
+		}
+	}
+	return isDeriveSeedFunc(fn)
+}
+
+// isConversion reports whether call is a type conversion like int64(x).
+func isConversion(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Pkg.Info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// tainted reports whether expr provably carries a timing-derived value.
+func (cf *clockFlow) tainted(expr ast.Expr) bool {
+	return cf.taintedAt(expr, 0)
+}
+
+func (cf *clockFlow) taintedAt(expr ast.Expr, depth int) bool {
+	if expr == nil || depth > 32 {
+		return false
+	}
+	expr = ast.Unparen(expr)
+	// Compile-time constants are never timing values.
+	if tv, ok := cf.pass.Pkg.Info.Types[expr]; ok && tv.Value != nil {
+		return false
+	}
+	switch e := expr.(type) {
+	case *ast.BinaryExpr:
+		return cf.taintedAt(e.X, depth+1) || cf.taintedAt(e.Y, depth+1)
+	case *ast.UnaryExpr:
+		return cf.taintedAt(e.X, depth+1)
+	case *ast.StarExpr:
+		return cf.taintedAt(e.X, depth+1)
+	case *ast.IndexExpr:
+		return cf.taintedAt(e.X, depth+1)
+	case *ast.SliceExpr:
+		return cf.taintedAt(e.X, depth+1)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if cf.taintedAt(elt, depth+1) {
+				return true
+			}
+		}
+		return false
+	case *ast.SelectorExpr:
+		// Field read off a tainted value stays tainted; package-qualified
+		// identifiers resolve X to a PkgName and are never tainted.
+		return cf.taintedAt(e.X, depth+1)
+	case *ast.CallExpr:
+		if isConversion(cf.pass, e) && len(e.Args) == 1 {
+			return cf.taintedAt(e.Args[0], depth+1)
+		}
+		if isTimingSource(cf.pass.calleeFunc(e)) {
+			return true
+		}
+		// A method chained off a tainted value keeps the taint
+		// (d.Round(...), d.Seconds(), ...).
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			return cf.taintedAt(sel.X, depth+1)
+		}
+		return false
+	case *ast.Ident:
+		obj := cf.pass.ObjectOf(e)
+		if _, ok := obj.(*types.Var); !ok {
+			return false
+		}
+		defs := cf.ff.defs[obj]
+		if len(defs) == 0 || cf.ff.visited[obj] {
+			return false
+		}
+		cf.ff.visited[obj] = true
+		defer delete(cf.ff.visited, obj)
+		for _, d := range defs {
+			if d.rhs != nil && cf.taintedAt(d.rhs, depth+1) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// isTimingSource matches the sanctioned timing doors: the time package's
+// clock reads and the telemetry package's value-reading methods.
+func isTimingSource(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		return timingTimeFuncs[fn.Name()]
+	case telemetryPkg:
+		return timingSourceMethods[fn.Name()]
+	}
+	return false
+}

@@ -259,6 +259,7 @@ func Analyzers() []*Analyzer {
 		StreamIDAnalyzer,
 		BarrierAnalyzer,
 		HotAllocAnalyzer,
+		ClockFlowAnalyzer,
 	}
 }
 

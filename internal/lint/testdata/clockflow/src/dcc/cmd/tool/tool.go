@@ -1,0 +1,24 @@
+// Command tool exercises the non-strict clockflow rules: cmd/ binaries
+// may print and branch on timing (operator-facing output is their job),
+// but timing-dependent seeds are flagged even here — with the written
+// waiver form as the escape hatch.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dcc/internal/telemetry"
+)
+
+func main() {
+	clk := &telemetry.ManualClock{}
+	d := clk.Now()
+	fmt.Println("elapsed ns:", d) // timing output is what a cmd binary is for
+	if d > 1_000_000 {            // branching on timing: allowed outside simulation packages
+		fmt.Println("slow run")
+	}
+	_ = rand.New(rand.NewSource(d)) // want `timing-derived value seeds math/rand\.NewSource`
+	//lint:ignore clockflow jitter seed only shuffles operator-facing progress output, never results
+	_ = rand.New(rand.NewSource(d))
+}

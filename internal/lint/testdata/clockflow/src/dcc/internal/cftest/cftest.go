@@ -1,0 +1,65 @@
+// Package cftest exercises the clockflow sinks inside a simulation
+// package: every way a timing value can steer the deterministic engines
+// must be flagged, and the sanctioned measure-only patterns must not.
+package cftest
+
+import (
+	"math/rand"
+
+	"dcc/internal/runner"
+	"dcc/internal/telemetry"
+)
+
+type state struct {
+	lastLatency int64
+}
+
+func record(int64) {}
+
+// Steering: timing values reaching control flow, state, seeds, calls and
+// returns.
+func Steering(reg *telemetry.Registry, clk telemetry.Clock) int64 {
+	sp := reg.StartSpan("phase")
+	d := sp.End()
+	if d > 1000 { // want `timing-derived value controls a branch in simulation package dcc/internal/cftest`
+		record(0)
+	}
+	for i := int64(0); i < d; i++ { // want `timing-derived value controls a loop in simulation package dcc/internal/cftest`
+		record(0)
+	}
+	switch d { // want `timing-derived value controls a switch in simulation package dcc/internal/cftest`
+	}
+	_ = rand.New(rand.NewSource(d))     // want `timing-derived value seeds math/rand\.NewSource; seeds must be reproducible from Config alone`
+	_ = runner.DeriveSeed(1, 2, int(d)) // want `timing-derived value seeds dcc/internal/runner\.DeriveSeed`
+	var s state
+	s.lastLatency = d // want `timing-derived value stored into state in simulation package dcc/internal/cftest`
+	record(d)         // want `timing-derived value escapes into a call argument in simulation package dcc/internal/cftest`
+	t := clk.Now()
+	return t // want `timing-derived value returned from simulation package dcc/internal/cftest`
+}
+
+// Arithmetic and conversions propagate taint through locals.
+func Derived(reg *telemetry.Registry) {
+	lat := reg.TimingHistogram("lat")
+	p99 := lat.Quantile(0.99)
+	us := float64(p99) / 1e3
+	record(int64(us)) // want `timing-derived value escapes into a call argument in simulation package dcc/internal/cftest`
+}
+
+// Measuring: the sanctioned patterns — spans around work, observations
+// into telemetry, discarded durations — produce no findings.
+func Measuring(reg *telemetry.Registry) {
+	sp := reg.StartSpan("phase")
+	record(0)
+	d := sp.End()
+	reg.TimingHistogram("lat").Observe(d) // telemetry is the allowed destination
+	reg.Counter("work").Add(1)
+
+	sp2 := reg.StartSpan("phase2")
+	defer sp2.End() // discarded duration: nothing flows
+
+	n := int64(42) // untainted locals stay untainted
+	if n > 3 {
+		record(n)
+	}
+}

@@ -1,0 +1,8 @@
+// Package runner is a corpus stub of dcc/internal/runner: clockflow
+// treats DeriveSeed arguments as seed sinks in every package.
+package runner
+
+// DeriveSeed mirrors the real derivation entry point.
+func DeriveSeed(base int64, stream uint64, run int) int64 {
+	return base ^ int64(stream) ^ int64(run)
+}

@@ -1,0 +1,74 @@
+// Package telemetry is a corpus stub of the real dcc/internal/telemetry:
+// just enough surface for the clockflow corpus to exercise the sanctioned
+// sources (Clock.Now, Span.End, Hist.Quantile) and the allowed
+// destinations (Observe, StartSpan). Sinks inside this package follow the
+// non-strict rules — it is the one simulation package allowed to hold
+// timing values.
+package telemetry
+
+// Clock is the injected time source.
+type Clock interface {
+	Now() int64
+}
+
+// ManualClock is the test clock.
+type ManualClock struct{ now int64 }
+
+// Now returns the current reading.
+func (c *ManualClock) Now() int64 { return c.now }
+
+// Span is a phase-scoped measurement.
+type Span struct{ t0 int64 }
+
+// End returns the span duration.
+func (s Span) End() int64 { return s.t0 }
+
+// Hist is a fixed-bucket histogram.
+type Hist struct{ sum int64 }
+
+// Observe records one value.
+func (h *Hist) Observe(v int64) {
+	if h != nil {
+		h.sum += v
+	}
+}
+
+// Quantile returns a quantile upper bound.
+func (h *Hist) Quantile(q float64) int64 { return h.sum }
+
+// Counter is a monotonic counter.
+type Counter struct{ v int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v += d
+	}
+}
+
+// Registry holds named series.
+type Registry struct{ clock Clock }
+
+// StartSpan begins a span.
+func (r *Registry) StartSpan(name string) Span {
+	if r == nil || r.clock == nil {
+		return Span{}
+	}
+	return Span{t0: r.clock.Now()}
+}
+
+// TimingHistogram returns a latency histogram.
+func (r *Registry) TimingHistogram(name string) *Hist {
+	if r == nil {
+		return nil
+	}
+	return &Hist{}
+}
+
+// Counter returns a counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return &Counter{}
+}

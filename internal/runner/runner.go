@@ -27,7 +27,24 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"dcc/internal/telemetry"
 )
+
+// tel is the pool's registry, attached by Instrument. The pool is shared
+// process-wide, so its telemetry hook is too; a nil registry (the
+// default) makes every telemetry operation a no-op.
+var tel atomic.Pointer[telemetry.Registry]
+
+// Instrument routes the pool's metrics into reg: the deterministic
+// runner.maps / runner.jobs counters, the runner.job span (per-job
+// latency, when reg has a clock), and the runner.occupancy timing
+// histogram of jobs-per-worker (scheduler-dependent by nature, so
+// timing-class). Pass nil to detach.
+func Instrument(reg *telemetry.Registry) { tel.Store(reg) }
+
+// occupancyBounds buckets jobs-per-worker counts.
+var occupancyBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 
 // Map runs job(0..n-1) across at most workers goroutines and returns the
 // results indexed by job. workers ≤ 0 selects runtime.GOMAXPROCS(0);
@@ -49,15 +66,22 @@ func Map[T any](n, workers int, job func(i int) (T, error)) ([]T, error) {
 	if workers > n {
 		workers = n
 	}
+	reg := tel.Load()
+	reg.Counter("runner.maps").Inc()
+	reg.Counter("runner.jobs").Add(int64(n))
+	occupancy := reg.TimingValues("runner.occupancy", occupancyBounds)
 	out := make([]T, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			sp := reg.StartSpan("runner.job")
 			v, err := job(i)
+			sp.End()
 			if err != nil {
 				return nil, err
 			}
 			out[i] = v
 		}
+		occupancy.Observe(int64(n))
 		return out, nil
 	}
 
@@ -87,7 +111,9 @@ func Map[T any](n, workers int, job func(i int) (T, error)) ([]T, error) {
 				lowerFailure(i)
 			}
 		}()
+		sp := reg.StartSpan("runner.job")
 		v, err := job(i)
+		sp.End()
 		if err != nil {
 			errs[i] = err
 			lowerFailure(i)
@@ -96,9 +122,10 @@ func Map[T any](n, workers int, job func(i int) (T, error)) ([]T, error) {
 		out[i] = v
 	}
 
+	perWorker := make([]int64, workers)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1) - 1)
@@ -112,11 +139,15 @@ func Map[T any](n, workers int, job func(i int) (T, error)) ([]T, error) {
 				if int64(i) > failed.Load() {
 					return
 				}
+				perWorker[w]++
 				runOne(i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	for _, c := range perWorker {
+		occupancy.Observe(c)
+	}
 
 	if f := failed.Load(); f < int64(n) {
 		i := int(f)

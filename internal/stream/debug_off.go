@@ -10,3 +10,7 @@ import (
 // debugCheckMemoVerdict is a no-op in release builds; the dccdebug build
 // re-derives every memoized verdict from scratch (debug_on.go).
 func debugCheckMemoVerdict(*vpt.Cache, graph.NodeID, bool, *graph.Scratch, *vpt.Tester) {}
+
+// debugCheckTelemetryMirror is a no-op in release builds; the dccdebug
+// build asserts published telemetry mirrors Stats (debug_on.go).
+func debugCheckTelemetryMirror(*Engine) {}

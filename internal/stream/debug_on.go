@@ -29,3 +29,17 @@ func debugCheckMemoVerdict(cache *vpt.Cache, v graph.NodeID, memoized bool, s *g
 			v, memoized, fresh))
 	}
 }
+
+// debugCheckTelemetryMirror asserts that the amounts published into the
+// telemetry registry equal the engine's Stats, field for field — the
+// cross-check that no Stats field is missing from publish and no delta
+// was dropped. Runs after every publish, under e.mu.
+func debugCheckTelemetryMirror(e *Engine) {
+	if e.tel == nil {
+		return
+	}
+	if e.telPub != e.stats {
+		panic(fmt.Sprintf("stream: telemetry mirror diverged from Stats: published %+v, stats %+v",
+			e.telPub, e.stats))
+	}
+}

@@ -7,10 +7,12 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync"
 
 	"dcc/internal/core"
 	"dcc/internal/geom"
 	"dcc/internal/graph"
+	"dcc/internal/telemetry"
 	"dcc/internal/trace"
 	"dcc/internal/vpt"
 )
@@ -48,7 +50,21 @@ type Config struct {
 	// genesis, then every admitted event, framed and checksummed
 	// (trace.AppendRecord) before it is applied.
 	WAL io.Writer
+	// SyncWAL, when true and WAL implements Sync() error (an *os.File),
+	// syncs the log after every append, making each admission durable the
+	// moment admit returns. The sync is timed under the stream.fsync span.
+	SyncWAL bool
+	// Telemetry, when non-nil, receives the engine's metrics: deterministic
+	// counters mirroring Stats (stream.admitted, stream.applied, ...),
+	// gauges (stream.watermark, stream.pending, stream.live), and — when the
+	// registry has a clock — the stream.wal_append, stream.fsync,
+	// stream.rebuild and stream.election spans. Collection never perturbs
+	// results: counters are published as deltas after the work they count.
+	Telemetry *telemetry.Registry
 }
+
+// walSyncer is the optional durability surface of a WAL writer.
+type walSyncer interface{ Sync() error }
 
 const (
 	defaultMaxPending    = 256
@@ -96,10 +112,14 @@ type memoKey struct {
 	fp uint64
 }
 
-// Engine is the event-sourced streaming coverage engine. It is not safe
-// for concurrent use; wrap it in the caller's serialization (the
-// distributed runtime's actor loop, or a mutex).
+// Engine is the event-sourced streaming coverage engine. Every exported
+// method holds an internal mutex, so concurrent producers and observers
+// (a goroutine polling Stats while another ingests) are safe; events are
+// still applied one at a time, in whatever order callers acquire the
+// lock.
 type Engine struct {
+	mu sync.Mutex
+
 	tau, k int
 	seed   int64
 	cfg    Config
@@ -122,8 +142,85 @@ type Engine struct {
 	quarantine []Rejection
 	stats      Stats
 
+	tel     *telemetry.Registry
+	th      telHandles
+	telPub  Stats // amounts already published into th; the dccdebug build asserts telPub == stats after every publish
+	walSync walSyncer
+
 	tester *vpt.Tester
 	encBuf []byte
+}
+
+// telHandles caches the engine's registry handles so publish never takes
+// the registry's name-lookup path on the hot path.
+type telHandles struct {
+	admitted, applied, rejected, duplicates, coalesced *telemetry.Counter
+	rebuilds, fastRestores                             *telemetry.Counter
+	elections, tests, memoHits, memoMisses, memoResets *telemetry.Counter
+	walBytes, snapshots                                *telemetry.Counter
+	watermark, pending, live                           *telemetry.Gauge
+}
+
+func newTelHandles(reg *telemetry.Registry) telHandles {
+	return telHandles{
+		admitted:     reg.Counter("stream.admitted"),
+		applied:      reg.Counter("stream.applied"),
+		rejected:     reg.Counter("stream.rejected"),
+		duplicates:   reg.Counter("stream.duplicates"),
+		coalesced:    reg.Counter("stream.coalesced"),
+		rebuilds:     reg.Counter("stream.rebuilds"),
+		fastRestores: reg.Counter("stream.fast_restores"),
+		elections:    reg.Counter("stream.elections"),
+		tests:        reg.Counter("stream.tests"),
+		memoHits:     reg.Counter("stream.memo_hits"),
+		memoMisses:   reg.Counter("stream.memo_misses"),
+		memoResets:   reg.Counter("stream.memo_resets"),
+		walBytes:     reg.Counter("stream.wal_bytes"),
+		snapshots:    reg.Counter("stream.snapshots"),
+		watermark:    reg.Gauge("stream.watermark"),
+		pending:      reg.Gauge("stream.pending"),
+		live:         reg.Gauge("stream.live"),
+	}
+}
+
+// publish mirrors the Stats delta since the last publish into the
+// registry, then refreshes the gauges. Runs under e.mu at the end of
+// every exported mutating method, so counters are pure post-hoc
+// observations of work already done — enabling telemetry cannot change
+// any result.
+func (e *Engine) publish() {
+	if e.tel == nil {
+		return
+	}
+	s, p := &e.stats, &e.telPub
+	pubInt(e.th.admitted, &p.Admitted, s.Admitted)
+	pubInt(e.th.applied, &p.Applied, s.Applied)
+	pubInt(e.th.rejected, &p.Rejected, s.Rejected)
+	pubInt(e.th.duplicates, &p.Duplicates, s.Duplicates)
+	pubInt(e.th.coalesced, &p.Coalesced, s.Coalesced)
+	pubInt(e.th.rebuilds, &p.Rebuilds, s.Rebuilds)
+	pubInt(e.th.fastRestores, &p.FastRestores, s.FastRestores)
+	pubInt(e.th.elections, &p.Elections, s.Elections)
+	pubInt(e.th.tests, &p.Tests, s.Tests)
+	pubInt(e.th.memoHits, &p.MemoHits, s.MemoHits)
+	pubInt(e.th.memoMisses, &p.MemoMisses, s.MemoMisses)
+	pubInt(e.th.memoResets, &p.MemoResets, s.MemoResets)
+	pubInt64(e.th.walBytes, &p.WALBytes, s.WALBytes)
+	pubInt(e.th.snapshots, &p.Snapshots, s.Snapshots)
+	e.th.watermark.Set(int64(e.watermark))
+	e.th.pending.Set(int64(len(e.pending)))
+	e.th.live.Set(int64(e.topo.liveCount()))
+	debugCheckTelemetryMirror(e)
+}
+
+func pubInt(c *telemetry.Counter, prev *int, now int) {
+	c.Add(int64(now - *prev))
+	*prev = now
+}
+
+func pubInt64(c *telemetry.Counter, prev *int64, now int64) {
+	c.Add(now - *prev)
+	*prev = now
 }
 
 // New builds a streaming engine over the genesis network. The genesis
@@ -173,7 +270,15 @@ func New(net core.Network, cfg Config) (*Engine, error) {
 		tester:    vpt.NewTester(),
 		encBuf:    make([]byte, 0, maxEventRecordLen),
 	}
+	if cfg.Telemetry != nil {
+		e.tel = cfg.Telemetry
+		e.th = newTelHandles(cfg.Telemetry)
+	}
+	if s, ok := cfg.WAL.(walSyncer); ok && cfg.SyncWAL {
+		e.walSync = s
+	}
 	e.topo = newTopology(net.G, cfg.Radius, pos, &e.stats)
+	e.topo.tel = e.tel
 
 	e.boundary = make(map[graph.NodeID]bool, len(net.Boundary))
 	for _, v := range nodes {
@@ -193,13 +298,31 @@ func New(net core.Network, cfg Config) (*Engine, error) {
 	e.coverStale = true
 
 	if cfg.WAL != nil {
-		n, err := trace.WriteRecord(cfg.WAL, appendWALHeader(nil, cfg))
-		e.stats.WALBytes += int64(n)
-		if err != nil {
+		if err := e.walAppend(appendWALHeader(nil, cfg)); err != nil {
 			return nil, err
 		}
 	}
+	e.publish()
 	return e, nil
+}
+
+// walAppend writes one framed record to the WAL (timed under the
+// stream.wal_append span) and, when SyncWAL is on, syncs the file (timed
+// under stream.fsync).
+func (e *Engine) walAppend(payload []byte) error {
+	sp := e.tel.StartSpan("stream.wal_append")
+	n, err := trace.WriteRecord(e.cfg.WAL, payload)
+	sp.End()
+	e.stats.WALBytes += int64(n)
+	if err != nil {
+		return err
+	}
+	if e.walSync != nil {
+		fs := e.tel.StartSpan("stream.fsync")
+		err = e.walSync.Sync()
+		fs.End()
+	}
+	return err
 }
 
 // checkImmutable enforces the static boundary/mode contract: the boundary
@@ -256,9 +379,7 @@ func (e *Engine) admit(ev Event) error {
 		return err
 	}
 	if e.cfg.WAL != nil {
-		n, err := trace.WriteRecord(e.cfg.WAL, ev.appendTo(e.encBuf[:0]))
-		e.stats.WALBytes += int64(n)
-		if err != nil {
+		if err := e.walAppend(ev.appendTo(e.encBuf[:0])); err != nil {
 			return err // durability failure is fatal, not a quarantine
 		}
 	}
@@ -332,6 +453,9 @@ func (e *Engine) applyOne(ev Event) error {
 // admitted); apply-time verdicts of batched events surface through
 // Quarantined and Stats.
 func (e *Engine) Ingest(ev Event) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	defer e.publish()
 	if err := e.admit(ev); err != nil {
 		return err
 	}
@@ -350,7 +474,7 @@ func (e *Engine) Ingest(ev Event) error {
 	}
 	e.pending = append(e.pending, ev)
 	if len(e.pending) >= e.cfg.MaxPending {
-		e.Flush()
+		e.flush()
 	}
 	return nil
 }
@@ -359,15 +483,25 @@ func (e *Engine) Ingest(ev Event) error {
 // batch) immediately. The returned error is the event's full admission or
 // application verdict.
 func (e *Engine) Step(ev Event) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	defer e.publish()
 	if err := e.admit(ev); err != nil {
 		return err
 	}
-	e.Flush()
+	e.flush()
 	return e.applyOne(ev)
 }
 
 // Flush applies every pending event in admission order.
 func (e *Engine) Flush() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.flush()
+	e.publish()
+}
+
+func (e *Engine) flush() {
 	for _, ev := range e.pending {
 		_ = e.applyOne(ev) // verdict recorded in the quarantine
 	}
@@ -386,8 +520,11 @@ func (e *Engine) elect() {
 	if !e.coverStale {
 		return
 	}
+	sp := e.tel.StartSpan("stream.election")
+	defer sp.End()
 	live := e.topo.liveGraph()
 	cache := vpt.NewCache(live, e.tau)
+	cache.Instrument(e.tel)
 	view := cache.View()
 	scratch := graph.NewScratch(live)
 	test := func(v graph.NodeID) bool {
@@ -425,25 +562,46 @@ func (e *Engine) elect() {
 // active coverage set: the live internal nodes the canonical schedule
 // keeps, sorted by id.
 func (e *Engine) Cover() []graph.NodeID {
-	e.Flush()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.flush()
 	e.elect()
+	e.publish()
 	return append([]graph.NodeID(nil), e.cover...)
 }
 
 // Watermark returns the highest admitted sequence number.
-func (e *Engine) Watermark() uint64 { return e.watermark }
+func (e *Engine) Watermark() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.watermark
+}
 
 // PendingLen reports the backpressure queue depth.
-func (e *Engine) PendingLen() int { return len(e.pending) }
+func (e *Engine) PendingLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.pending)
+}
 
 // LiveCount reports the number of live nodes (boundary included).
-func (e *Engine) LiveCount() int { return e.topo.liveCount() }
+func (e *Engine) LiveCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.topo.liveCount()
+}
 
 // Stats returns a snapshot of the work counters.
-func (e *Engine) Stats() Stats { return e.stats }
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
 
 // Quarantined returns a copy of the rejected-event ring, oldest first.
 func (e *Engine) Quarantined() []Rejection {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return append([]Rejection(nil), e.quarantine...)
 }
 
@@ -451,7 +609,10 @@ func (e *Engine) Quarantined() []Rejection {
 // as a batch-schedulable network — the object the differential convergence
 // suite feeds to core.Schedule.
 func (e *Engine) MaterializedNetwork() core.Network {
-	e.Flush()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.flush()
+	e.publish()
 	cycles := make([][]graph.NodeID, len(e.cycles))
 	for i, c := range e.cycles {
 		cycles[i] = append([]graph.NodeID(nil), c...)
@@ -472,7 +633,14 @@ type NodeAt struct {
 // LiveNodesAt flushes pending events and returns the live nodes with their
 // current positions, sorted by id.
 func (e *Engine) LiveNodesAt() []NodeAt {
-	e.Flush()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.flush()
+	e.publish()
+	return e.liveNodesAt()
+}
+
+func (e *Engine) liveNodesAt() []NodeAt {
 	t := e.topo
 	out := make([]NodeAt, 0, t.liveCount())
 	for i, v := range t.ids {
@@ -529,9 +697,12 @@ func CoverFingerprintOf(tau int, seed int64, nodes []NodeAt, edges []graph.Edge,
 // the convergence identity: the hash of (tau, seed, live nodes with
 // positions, live edges, cover).
 func (e *Engine) CoverFingerprint() [32]byte {
-	e.Flush()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.flush()
 	e.elect()
-	return CoverFingerprintOf(e.tau, e.seed, e.LiveNodesAt(), e.topo.liveGraph().Edges(), e.cover)
+	e.publish()
+	return CoverFingerprintOf(e.tau, e.seed, e.liveNodesAt(), e.topo.liveGraph().Edges(), e.cover)
 }
 
 // stateBytes is the canonical encoding of the full engine state — universe
@@ -581,6 +752,9 @@ func (e *Engine) stateBytes() []byte {
 // identical: same universe, same liveness, same watermark, and therefore
 // (by canonical election) the same cover for the rest of time.
 func (e *Engine) StateFingerprint() [32]byte {
-	e.Flush()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.flush()
+	e.publish()
 	return sha256.Sum256(e.stateBytes())
 }

@@ -5,6 +5,7 @@ import (
 
 	"dcc/internal/geom"
 	"dcc/internal/graph"
+	"dcc/internal/telemetry"
 )
 
 // topology is the engine's authoritative picture of the deployment: the
@@ -29,7 +30,8 @@ type topology struct {
 	view    *graph.DeleteView
 	scratch *graph.Scratch
 
-	stats *Stats // rebuild / fast-restore counters, owned by the engine
+	stats *Stats              // rebuild / fast-restore counters, owned by the engine
+	tel   *telemetry.Registry // rebuild span source; nil when telemetry is off
 }
 
 func newTopology(g *graph.Graph, radius float64, pos []geom.Point, stats *Stats) *topology {
@@ -68,6 +70,8 @@ func (t *topology) liveCount() int { return t.view.NumLive() }
 // rebuild recompiles the CSR base from the universe slices and replays the
 // dead flags onto a fresh overlay.
 func (t *topology) rebuild() {
+	sp := t.tel.StartSpan("stream.rebuild")
+	defer sp.End()
 	b := graph.NewBuilder()
 	for _, v := range t.ids {
 		b.AddNode(v)

@@ -68,7 +68,10 @@ func decodeWALHeader(p []byte, cfg Config) error {
 // one framed record; returns the bytes written. A snapshot plus the WAL
 // suffix after its watermark is a complete recovery pair.
 func (e *Engine) Snapshot(w io.Writer) (int, error) {
-	e.Flush()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	defer e.publish()
+	e.flush()
 	state := e.stateBytes()
 	sum := sha256.Sum256(state)
 	payload := make([]byte, 0, len(snapMagic)+len(state)+len(sum))
@@ -326,6 +329,10 @@ func Recover(net core.Network, cfg Config, snapshot, wal io.Reader) (*Engine, Re
 	}
 
 	e.cfg.WAL = liveWAL
+	if s, ok := liveWAL.(walSyncer); ok && cfg.SyncWAL {
+		e.walSync = s
+	}
+	e.publish()
 	return e, info, nil
 }
 

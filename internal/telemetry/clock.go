@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock is the only way time enters the telemetry layer: spans read
+// nanosecond timestamps from an injected Clock, never from the time
+// package directly. The production implementation is WallClock; tests use
+// ManualClock. Simulation packages receive a Clock only transitively
+// through a *Registry and never observe its values — the clockflow
+// analyzer proves that statically.
+type Clock interface {
+	// Now returns a monotonic-ish timestamp in nanoseconds. Only
+	// differences of Now values are ever interpreted.
+	Now() int64
+}
+
+// WallClock reads the real monotonic clock. It exists so cmd/ binaries can
+// inject real time; constructing one inside a simulation package is a
+// clockflow/wallclock violation by design.
+type WallClock struct{}
+
+// Now returns the wall clock's monotonic reading in nanoseconds.
+func (WallClock) Now() int64 {
+	// The repository-wide wallclock ban covers internal/; this call is the
+	// single sanctioned production time source, injected only from cmd/.
+	//lint:ignore wallclock WallClock is the injected production time source; timing values stay inside telemetry's timing-class series
+	return int64(time.Since(wallEpoch))
+}
+
+// wallEpoch anchors WallClock readings so differences use Go's monotonic
+// clock (time.Since reads the monotonic component of the epoch).
+//
+//lint:ignore wallclock process-start epoch for monotonic readings; never observed by simulation code
+var wallEpoch = time.Now()
+
+// ManualClock is a deterministic test clock: Now returns the current
+// setting and then advances it by Tick. Safe for concurrent use (the
+// experiments equivalence tests drive spans from parallel workers).
+type ManualClock struct {
+	now atomic.Int64
+	// Tick is the amount Now auto-advances per call. Zero means the clock
+	// is frozen until Set/Advance. Set Tick before sharing the clock.
+	Tick int64
+}
+
+// Now returns the current reading, post-incrementing by Tick.
+func (c *ManualClock) Now() int64 {
+	if c.Tick == 0 {
+		return c.now.Load()
+	}
+	return c.now.Add(c.Tick) - c.Tick
+}
+
+// Set moves the clock to t.
+func (c *ManualClock) Set(t int64) { c.now.Store(t) }
+
+// Advance moves the clock forward by d.
+func (c *ManualClock) Advance(d int64) { c.now.Add(d) }

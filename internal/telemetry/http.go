@@ -1,0 +1,31 @@
+package telemetry
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the operational HTTP surface a resident daemon (the
+// ROADMAP's dccd) mounts: the registry's NDJSON snapshot, Go's expvar
+// variables, and the pprof profiling endpoints. dccsim serves it behind
+// the -http flag; the handler holds only a reference to r, so metrics
+// written after Handler returns are visible.
+//
+//	/metrics       NDJSON snapshot (dcc-metrics-v1)
+//	/debug/vars    expvar JSON
+//	/debug/pprof/  profiles (heap, goroutine, profile, trace, ...)
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = r.WriteNDJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -5,6 +5,7 @@ import (
 
 	"dcc/internal/cycles"
 	"dcc/internal/graph"
+	"dcc/internal/telemetry"
 )
 
 // Tester bundles the reusable scratch state of a deletability-testing
@@ -74,6 +75,33 @@ type Cache struct {
 	scratch *graph.Scratch
 	tester  *Tester
 	stats   CacheStats
+
+	// Telemetry handles, nil (no-op) unless Instrument was called. All
+	// three counters and the dirty-ball histogram are deterministic-class:
+	// CacheStats is worker-count-invariant by the fixed-chunk decomposition
+	// of core's parallel engine, and the Commit/Restore dirty sets are a
+	// pure function of the deletion history.
+	telLookups, telComputes, telInvalidated *telemetry.Counter
+	telDirty                                *telemetry.Hist
+}
+
+// dirtyBallBounds buckets Commit/Restore dirty-set sizes: the k-hop ball
+// population is the quantity the incremental engine's cost model stands
+// on, so power-of-two resolution up to 1024 is plenty.
+var dirtyBallBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// Instrument attaches the cache to reg: vpt.lookups, vpt.computes and
+// vpt.invalidated counters plus the vpt.dirty_ball histogram of
+// Commit/Restore dirty-set sizes. A nil reg leaves the cache
+// uninstrumented (all handles stay nil-safe no-ops).
+func (c *Cache) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	c.telLookups = reg.Counter("vpt.lookups")
+	c.telComputes = reg.Counter("vpt.computes")
+	c.telInvalidated = reg.Counter("vpt.invalidated")
+	c.telDirty = reg.Histogram("vpt.dirty_ball", dirtyBallBounds)
 }
 
 // CacheStats counts the work a Cache performed.
@@ -142,9 +170,11 @@ func (c *Cache) Deletable(v graph.NodeID) bool {
 		return false
 	}
 	c.stats.Lookups++
+	c.telLookups.Inc()
 	if c.verdict[i] == verdictUnknown {
 		c.verdict[i] = c.compute(v, c.scratch, c.tester)
 		c.stats.Computes++
+		c.telComputes.Inc()
 	}
 	return c.verdict[i] == verdictYes
 }
@@ -231,6 +261,7 @@ func (c *Cache) Restore(v graph.NodeID) []graph.NodeID {
 	mark := func(bi int32) {
 		if c.verdict[bi] != verdictUnknown {
 			c.stats.Invalidated++
+			c.telInvalidated.Inc()
 		}
 		c.verdict[bi] = verdictUnknown
 		out = append(out, c.g.NodeAt(int(bi)))
@@ -248,6 +279,7 @@ func (c *Cache) Restore(v graph.NodeID) []graph.NodeID {
 	if !placed {
 		mark(int32(vi))
 	}
+	c.telDirty.Observe(int64(len(out)))
 	debugAuditClean(c)
 	return out
 }
@@ -278,10 +310,12 @@ func (c *Cache) remove(del []graph.NodeID) []graph.NodeID {
 		}
 		if c.verdict[bi] != verdictUnknown {
 			c.stats.Invalidated++
+			c.telInvalidated.Inc()
 		}
 		c.verdict[bi] = verdictUnknown
 		out = append(out, id)
 	}
+	c.telDirty.Observe(int64(len(out)))
 	debugAuditClean(c)
 	return out
 }

@@ -131,3 +131,28 @@ cat > BENCH_stream.json <<EOF
 }
 EOF
 echo "== wrote BENCH_stream.json"
+
+# Merge the three per-figure records into one schema-versioned artifact
+# with run metadata (the file dashboards should consume; the per-figure
+# files stay for diffing). No jq on the build image, so the embed is
+# plain concatenation — each BENCH_*.json is already one JSON object.
+COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+STAMP=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+{
+    printf '{\n  "schema": "dcc-bench-v1",\n'
+    printf '  "metadata": {\n'
+    printf '    "generated_at": "%s",\n' "$STAMP"
+    printf '    "commit": "%s",\n' "$COMMIT"
+    printf '    "go": "%s",\n' "$(go env GOVERSION)"
+    printf '    "platform": "%s/%s",\n' "$(go env GOOS)" "$(go env GOARCH)"
+    printf '    "cpus": %s,\n' "$CPUS"
+    printf '    "runs": %s,\n    "nodes": %s,\n    "workers": %s\n  },\n' "$RUNS" "$NODES" "$WORKERS"
+    printf '  "benches": {\n    "parallel": '
+    cat BENCH_parallel.json
+    printf ',\n    "incremental": '
+    cat BENCH_incremental.json
+    printf ',\n    "stream": '
+    cat BENCH_stream.json
+    printf '  }\n}\n'
+} > BENCH_all.json
+echo "== wrote BENCH_all.json"

@@ -89,6 +89,20 @@ echo '== streaming chaos smoke (race + deep assertions)'
 # the dccdebug memo cross-checks armed.
 go test -short -race -tags dccdebug -run '^TestStreamChaosMatrix$' ./internal/stream
 
+echo '== telemetry byte-identity'
+# The observability contract (DESIGN.md §14): collecting metrics must not
+# change a single output byte. Wall-clock timing lines are suppressed so
+# the two runs compare exactly; the NDJSON dump is sanity-checked for the
+# schema header and a live deterministic series.
+go build -o /tmp/dccsim.check ./cmd/dccsim
+TELFIGS='-fig 1,6,scenarios -nodes 60 -runs 1 -timings=false'
+/tmp/dccsim.check $TELFIGS -telemetry=false > /tmp/dccsim.tel_off.txt
+/tmp/dccsim.check $TELFIGS -metrics /tmp/dccsim.metrics.ndjson \
+    | grep -v '^\[metrics\]' > /tmp/dccsim.tel_on.txt
+cmp /tmp/dccsim.tel_off.txt /tmp/dccsim.tel_on.txt
+grep -q '"schema":"dcc-metrics-v1"' /tmp/dccsim.metrics.ndjson
+grep -q '"class":"deterministic","type":"counter","name":"core.runs"' /tmp/dccsim.metrics.ndjson
+
 echo "== fuzz smoke (${FUZZTIME} per target)"
 go test -run=NONE -fuzz='^FuzzVectorXOR$' -fuzztime="$FUZZTIME" ./internal/bitvec
 go test -run=NONE -fuzz='^FuzzRank$' -fuzztime="$FUZZTIME" ./internal/bitvec
