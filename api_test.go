@@ -2,7 +2,12 @@ package dcc
 
 import (
 	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
 	"reflect"
+	"regexp"
+	"strings"
 	"testing"
 
 	"dcc/internal/runner"
@@ -38,6 +43,16 @@ func TestSentinelErrorsWrapped(t *testing.T) {
 	}
 	if _, err := dep.Rotate(2, 2, 1); !errors.Is(err, ErrTauTooSmall) {
 		t.Fatalf("Rotate(tau=2) err = %v, want errors.Is ErrTauTooSmall", err)
+	}
+	if _, err := dep.ScheduleDCCSharded(2, ShardOptions{}); !errors.Is(err, ErrTauTooSmall) {
+		t.Fatalf("ScheduleDCCSharded(2) err = %v, want errors.Is ErrTauTooSmall", err)
+	}
+	obs, err := Deploy(DeployOptions{Nodes: 100, Seed: 3, Obstacles: []Circle{{Center: Point{X: 1.8, Y: 1.8}, R: 0.5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ScheduleDCCSharded(4, ShardOptions{}); !errors.Is(err, ErrShardedUnsupported) {
+		t.Fatalf("obstacle ScheduleDCCSharded err = %v, want errors.Is ErrShardedUnsupported", err)
 	}
 	if _, err := PlanTau(Requirement{Gamma: 2.5}); !errors.Is(err, ErrNoFeasibleTau) {
 		t.Fatalf("PlanTau(gamma=2.5) err = %v, want errors.Is ErrNoFeasibleTau", err)
@@ -139,5 +154,60 @@ func TestStatsAliases(t *testing.T) {
 	}
 	if dres.Stats.Deletions != len(dres.Deleted) {
 		t.Fatalf("dist Stats.Deletions = %d, want %d", dres.Stats.Deletions, len(dres.Deleted))
+	}
+}
+
+// TestDeprecatedAliasAudit: the deprecated stats aliases (core.Stats.Deleted,
+// dist.Stats.SuperRounds) are kept in sync for one final release for external
+// readers only. No Go source in this module may use them through a selector
+// except the declared sync writers and the alias tests above. This scan fails
+// the build on any new internal use, so the aliases can be deleted next
+// release by removing two struct fields and this allowlist.
+func TestDeprecatedAliasAudit(t *testing.T) {
+	// Selector uses of the deprecated names. `\.SuperRounds` deliberately
+	// does not match the non-deprecated config bound MaxSuperRounds, and
+	// the Deleted pattern is anchored on a *Stats* receiver so the
+	// []NodeID result field Result.Deleted stays legal.
+	patterns := []*regexp.Regexp{
+		regexp.MustCompile(`\.SuperRounds\b`),
+		regexp.MustCompile(`[sS]tats\.Deleted\b`),
+	}
+	allowed := map[string]bool{
+		"api_test.go":           true, // the alias-sync assertions above
+		"internal/core/core.go": true, // finishResult alias sync writer
+		"internal/dist/dist.go": true, // result() alias sync writer + field decl
+	}
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || allowed[filepath.ToSlash(path)] {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			trimmed := strings.TrimSpace(line)
+			if strings.HasPrefix(trimmed, "//") {
+				continue
+			}
+			for _, re := range patterns {
+				if re.MatchString(line) {
+					t.Errorf("%s:%d: deprecated stats alias in use: %s", path, i+1, trimmed)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }

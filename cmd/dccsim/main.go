@@ -40,7 +40,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("dccsim", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "figure to regenerate: 1..7, 'engines', 'loss', 'reliability', 'rotation', 'scenarios', 'stability', 'streaming', comma-separated, or 'all'")
+		fig      = fs.String("fig", "all", "figure to regenerate: 1..7, 'engines', 'loss', 'reliability', 'rotation', 'scenarios', 'stability', 'streaming', 'sharded', comma-separated, or 'all'")
 		seed     = fs.Int64("seed", 1, "random seed")
 		runs     = fs.Int("runs", 0, "random repetitions (0 = preset default)")
 		nodes    = fs.Int("nodes", 0, "deployment size (0 = preset default)")
@@ -49,6 +49,7 @@ func run(args []string, w io.Writer) error {
 		workers  = fs.Int("workers", 0, "concurrent Monte-Carlo runs (0 = all CPUs, 1 = sequential; output is identical for any value)")
 		telOn    = fs.Bool("telemetry", true, "collect metrics and spans while figures run (never changes figure output)")
 		timings  = fs.Bool("timings", true, "print per-figure wall-clock durations (needs -telemetry)")
+		shardN   = fs.Int("shardnodes", 0, "run a shard-engine headline deployment of this many interior nodes after the sharded figure's scaling sweep (0 = sweep only)")
 		metrics  = fs.String("metrics", "", "write the final metrics registry to this file as NDJSON (schema dcc-metrics-v1)")
 		httpAddr = fs.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address while figures run")
 	)
@@ -121,6 +122,12 @@ func run(args []string, w io.Writer) error {
 				benchNodes = *nodes
 			}
 			return streamingThroughput(w, reg, *seed, benchNodes, benchEvents)
+		}},
+		{"sharded", func() error {
+			if _, err := experiments.Sharded(w, cfg); err != nil {
+				return err
+			}
+			return shardedScaling(w, reg, *seed, *shardN, *full)
 		}},
 	}
 	ran := 0

@@ -37,6 +37,8 @@ import (
 	"dcc/internal/graph"
 	"dcc/internal/hgc"
 	"dcc/internal/runner"
+	"dcc/internal/shard"
+	"dcc/internal/telemetry"
 )
 
 // Re-exported fundamental types. Aliases keep the single implementation in
@@ -68,7 +70,22 @@ type (
 	CoverageReport = cover.Report
 	// RotationResult is one epoch of a sleep-rotation schedule.
 	RotationResult = core.RotationResult
+	// Telemetry is a metrics registry: every scheduling entry point
+	// accepts one through its options' Telemetry field (nil = collection
+	// off). Collection never changes schedule output — the observability
+	// contract of DESIGN.md §14.
+	Telemetry = telemetry.Registry
+	// ShardStats counts the work a sharded schedule performed (regions,
+	// replicas, batches, halo deltas) alongside the ScheduleResult.
+	ShardStats = shard.Stats
 )
+
+// NewTelemetry returns an empty metrics registry to pass through the
+// options' Telemetry fields. The registry has no time source — counters,
+// gauges and histograms collect; spans are no-ops — so library callers
+// cannot accidentally make results timing-dependent. Wall-clock spans
+// are a binary-level concern (see cmd/dccsim).
+func NewTelemetry() *Telemetry { return telemetry.New() }
 
 // Sentinel errors of the scheduling API. Every public entry point wraps
 // these (with fmt.Errorf and %w) rather than returning bare strings, so
@@ -88,9 +105,15 @@ var (
 	// within the bound makes the boundary partitionable.
 	ErrNotAchievable = core.ErrNotAchievable
 	// ErrTauTooSmall is wrapped by every scheduling entry point —
-	// ScheduleDCC, ScheduleDCCDistributed, ThinEdges, Rotate — handed a
-	// confine size below the minimum of 3.
+	// ScheduleDCC, ScheduleDCCSharded, ScheduleDCCDistributed, ThinEdges,
+	// Rotate — handed a confine size below the minimum of 3.
 	ErrTauTooSmall = core.ErrTauTooSmall
+	// ErrShardedUnsupported is wrapped by ScheduleDCCSharded for
+	// deployment shapes the spatial shard engine cannot partition
+	// soundly: multiply-connected targets (obstacle repair introduces
+	// position-less virtual apexes) and graphs with links longer than Rc
+	// (the halo invariant is geometric). Fall back to ScheduleDCC.
+	ErrShardedUnsupported = errors.New("dcc: deployment not supported by the sharded engine")
 )
 
 // DeriveSeed deterministically derives an independent sub-seed from a base
@@ -106,6 +129,7 @@ var (
 //	field                 consumed by                    randomness it drives
 //	DeployOptions.Seed    Deploy                         node positions, QuasiUDG links
 //	ScheduleOptions.Seed  ScheduleDCC (both modes)       deletion order, MIS priorities
+//	ShardOptions.Seed     ScheduleDCCSharded             canonical deletion priorities
 //	DistConfig.Seed       ScheduleDCCDistributed         protocol priorities, loss, faults
 //	seed arguments        ScheduleHGC, ThinEdges, Rotate same role as ScheduleOptions.Seed
 //
@@ -395,15 +419,45 @@ func (d *Deployment) AchievableTau(maxTau int) (int, error) {
 	return core.AchievableTau(net, maxTau)
 }
 
-// ScheduleOptions configures the centralized schedulers.
+// ScheduleOptions configures the centralized schedulers. Seed, Workers
+// and Telemetry follow the module-wide config vocabulary (DESIGN.md §15):
+// every scheduling options struct spells them the same way with the same
+// zero-value defaults.
 type ScheduleOptions struct {
 	// Seed drives randomized choices.
 	Seed int64
 	// Parallel selects the MIS round engine instead of sequential
 	// deletion.
 	Parallel bool
-	// Workers bounds concurrency in parallel mode (0 = GOMAXPROCS).
+	// Workers caps concurrency in parallel mode (0 = all CPUs, 1 =
+	// sequential; output is identical for any value).
 	Workers int
+	// Telemetry is the optional metrics registry (nil = collection off;
+	// never changes the schedule).
+	Telemetry *Telemetry
+}
+
+// ShardOptions configures the spatial shard engine behind
+// ScheduleDCCSharded. Seed, Workers and Telemetry mirror ScheduleOptions
+// field-for-field; Shards and HaloHops size the shard map. Every option
+// is result-neutral except Seed: the schedule is byte-identical for any
+// Workers, Shards and HaloHops choice — those trade memory and wall
+// clock only.
+type ShardOptions struct {
+	// Seed drives the canonical deletion priorities.
+	Seed int64
+	// Workers caps concurrency of every parallel section (0 = all CPUs,
+	// 1 = sequential; output is identical for any value).
+	Workers int
+	// Telemetry is the optional metrics registry (nil = collection off;
+	// never changes the schedule).
+	Telemetry *Telemetry
+	// Shards is the number of grid regions to partition the deployment
+	// into (0 = auto-size at roughly one region per 4096 nodes).
+	Shards int
+	// HaloHops is the replication depth of each region's halo in hops
+	// (0 = the minimum sound depth ⌈τ/2⌉; smaller values are rejected).
+	HaloHops int
 }
 
 // ScheduleDCC computes a sparse τ-confine coverage set with the paper's
@@ -419,11 +473,64 @@ func (d *Deployment) ScheduleDCC(tau int, opts ScheduleOptions) (ScheduleResult,
 		mode = core.Parallel
 	}
 	return core.Schedule(net, core.Options{
-		Tau:     tau,
-		Seed:    opts.Seed,
-		Mode:    mode,
-		Workers: opts.Workers,
+		Tau:       tau,
+		Seed:      opts.Seed,
+		Mode:      mode,
+		Workers:   opts.Workers,
+		Telemetry: opts.Telemetry,
 	})
+}
+
+// ScheduleDCCSharded computes the same τ-confine coverage set through
+// the spatial shard engine: the deployment is partitioned into grid
+// regions with ⌈τ/2⌉-hop halos, each region holds only its local
+// subgraph, and a coordinator replays the canonical election across
+// regions (internal/shard; DESIGN.md §15). The schedule equals the
+// canonical-mode centralized engine byte-for-byte and is invariant
+// under Workers, Shards and HaloHops — sharding changes how far the
+// deployment can scale (millions of nodes on one box), never what is
+// elected. Note the engine's deletion order is the canonical priority
+// order, not ScheduleDCC's seed-shuffled order, so results match across
+// shard counts and runs, not ScheduleDCC's output.
+//
+// Multiply-connected deployments (obstacles) are rejected with
+// ErrShardedUnsupported: their repair introduces virtual apex nodes
+// without positions, which the geometric shard map cannot place. Use
+// ScheduleDCC for those.
+func (d *Deployment) ScheduleDCCSharded(tau int, opts ShardOptions) (ScheduleResult, error) {
+	if err := d.Network().Validate(); err != nil {
+		return ScheduleResult{}, err
+	}
+	if tau < 3 {
+		return ScheduleResult{}, fmt.Errorf("dcc: tau %d: %w", tau, ErrTauTooSmall)
+	}
+	if len(d.InnerCycles) > 0 {
+		return ScheduleResult{}, fmt.Errorf("%w: %d obstacle boundaries need cone repair", ErrShardedUnsupported, len(d.InnerCycles))
+	}
+	boundary := make([]bool, len(d.Points))
+	for _, v := range d.BoundaryNodes {
+		boundary[v] = true
+	}
+	res, _, err := shard.Schedule(shard.Input{
+		Points:   d.Points,
+		Rc:       d.Rc,
+		Boundary: boundary,
+		G:        d.G,
+	}, shard.Options{
+		Tau:       tau,
+		Seed:      opts.Seed,
+		Workers:   opts.Workers,
+		Shards:    opts.Shards,
+		HaloHops:  opts.HaloHops,
+		Telemetry: opts.Telemetry,
+	})
+	if err != nil {
+		if errors.Is(err, shard.ErrUnsupported) {
+			return ScheduleResult{}, fmt.Errorf("%w: %v", ErrShardedUnsupported, err)
+		}
+		return ScheduleResult{}, fmt.Errorf("dcc: sharded schedule: %w", err)
+	}
+	return res, nil
 }
 
 // ScheduleDCCDistributed runs the message-passing protocol.

@@ -62,8 +62,8 @@ func main() {
 	}
 	s := res.Stats
 	fmt.Printf("  kept %d internal nodes; deleted %d\n", len(res.KeptInternal), len(res.Deleted))
-	fmt.Printf("  %d radio rounds, %d broadcasts, %d receptions, %d local tests, %d super-rounds\n",
-		s.CommRounds, s.Broadcasts, s.Delivered, s.Tests, s.SuperRounds)
+	fmt.Printf("  %d radio rounds, %d broadcasts, %d receptions, %d local tests, %d rounds\n",
+		s.CommRounds, s.Broadcasts, s.Delivered, s.Tests, s.Rounds)
 
 	ok, err := core.VerifyConfine(res.Final, net.BoundaryCycles, minTau+1)
 	if err != nil {

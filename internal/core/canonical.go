@@ -62,6 +62,86 @@ func (q *prioQueue) Pop() any {
 	return it
 }
 
+// ElectionQueue is the canonical election's work queue: a min-heap over
+// (CanonicalPriority, ID) with pending-set deduplication. Popping a node
+// marks it not-pending; pushing a node that is already pending is a no-op,
+// so a node is tested at most once per dirtying no matter how many commits
+// touched its neighbourhood. Exported so the spatial shard engine
+// (internal/shard) provably consumes nodes in the exact order the
+// unsharded CanonicalElect does — the queue is the shared definition of
+// "canonical order", not a convention.
+type ElectionQueue struct {
+	seed    int64
+	q       prioQueue
+	pending map[graph.NodeID]bool
+}
+
+// NewElectionQueue returns a queue seeded with the given nodes, all
+// pending.
+func NewElectionQueue(seed int64, nodes []graph.NodeID) *ElectionQueue {
+	eq := &ElectionQueue{
+		seed:    seed,
+		q:       make(prioQueue, 0, len(nodes)),
+		pending: make(map[graph.NodeID]bool, len(nodes)),
+	}
+	for _, v := range nodes {
+		eq.q = append(eq.q, prioItem{prio: CanonicalPriority(seed, v), v: v})
+		eq.pending[v] = true
+	}
+	heap.Init(&eq.q)
+	return eq
+}
+
+// Len returns the number of heap entries (stale entries included); zero
+// means the election has reached its fixpoint.
+func (eq *ElectionQueue) Len() int { return eq.q.Len() }
+
+// Pop returns the pending node with the smallest (priority, ID), marking
+// it not-pending, with ok = false when the queue is exhausted. Stale
+// entries (popped nodes re-tested since their last dirtying) are skipped.
+func (eq *ElectionQueue) Pop() (v graph.NodeID, ok bool) {
+	for eq.q.Len() > 0 {
+		it := heap.Pop(&eq.q).(prioItem)
+		if !eq.pending[it.v] {
+			continue // stale entry: already tested since it was last dirtied
+		}
+		eq.pending[it.v] = false
+		return it.v, true
+	}
+	return 0, false
+}
+
+// Peek returns the smallest pending (priority, node) without consuming
+// it, with ok = false when the queue is exhausted. Stale heap entries are
+// discarded on the way. The shard coordinator uses Peek to validate batch
+// replay: a speculatively popped node may only be consumed while no
+// pending node orders before it — otherwise the sequential engine would
+// have popped the pending node first, and the batch member is deferred.
+func (eq *ElectionQueue) Peek() (prio uint64, v graph.NodeID, ok bool) {
+	for eq.q.Len() > 0 {
+		it := eq.q[0]
+		if !eq.pending[it.v] {
+			heap.Pop(&eq.q)
+			continue
+		}
+		return it.prio, it.v, true
+	}
+	return 0, 0, false
+}
+
+// Push marks v pending and enqueues it at its canonical priority; a no-op
+// if v is already pending. Used both to re-enqueue dirtied survivors and
+// to defer a popped node whose test must wait (the shard coordinator's
+// conflict push-back) — the priority is a pure function of (seed, ID), so
+// a deferred node re-enters at exactly its canonical position.
+func (eq *ElectionQueue) Push(v graph.NodeID) {
+	if eq.pending[v] {
+		return
+	}
+	eq.pending[v] = true
+	heap.Push(&eq.q, prioItem{prio: CanonicalPriority(eq.seed, v), v: v})
+}
+
 // CanonicalElect runs the canonical greedy to fixpoint over cache: internal
 // nodes are tested in increasing (CanonicalPriority, ID) order, a deletable
 // node is committed immediately, and the dirtied survivors re-enter the
@@ -74,34 +154,28 @@ func (q *prioQueue) Pop() any {
 // The loop body is shared by both engines on purpose: the convergence
 // contract ("streaming state equals the batch schedule of the materialized
 // topology") then reduces to the equality of the two verdict functions,
-// which the dccdebug cross-checks and the differential suite verify.
+// which the dccdebug cross-checks and the differential suite verify. The
+// shard engine shares the ElectionQueue instead and batches independent
+// tests (pairwise more than ⌈τ/2⌉ hops apart), which DESIGN.md §15 proves
+// commutes with this sequential loop.
 func CanonicalElect(net Network, seed int64, cache *vpt.Cache, test func(v graph.NodeID) bool) (deleted []graph.NodeID, tests int) {
-	internal := net.InternalNodes()
-	q := make(prioQueue, 0, len(internal))
-	pending := make(map[graph.NodeID]bool, len(internal))
-	for _, v := range internal {
-		q = append(q, prioItem{prio: CanonicalPriority(seed, v), v: v})
-		pending[v] = true
-	}
-	heap.Init(&q)
-	for q.Len() > 0 {
-		it := heap.Pop(&q).(prioItem)
-		if !pending[it.v] {
-			continue // stale entry: already tested since it was last dirtied
+	eq := NewElectionQueue(seed, net.InternalNodes())
+	for {
+		v, ok := eq.Pop()
+		if !ok {
+			break
 		}
-		pending[it.v] = false
-		if !cache.Alive(it.v) {
+		if !cache.Alive(v) {
 			continue
 		}
 		tests++
-		if !test(it.v) {
+		if !test(v) {
 			continue
 		}
-		deleted = append(deleted, it.v)
-		for _, w := range cache.Commit([]graph.NodeID{it.v}) {
-			if !net.Boundary[w] && !pending[w] {
-				pending[w] = true
-				heap.Push(&q, prioItem{prio: CanonicalPriority(seed, w), v: w})
+		deleted = append(deleted, v)
+		for _, w := range cache.Commit([]graph.NodeID{v}) {
+			if !net.Boundary[w] {
+				eq.Push(w)
 			}
 		}
 	}

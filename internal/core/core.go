@@ -191,10 +191,14 @@ type Stats struct {
 	Tests int
 	// Deletions counts removed nodes.
 	Deletions int
-	// Deleted is the former name of Deletions, kept in sync for one
+	// Deleted is the former name of Deletions, kept in sync for one final
 	// release.
 	//
-	// Deprecated: use Deletions.
+	// Deprecated: use Deletions. This alias is scheduled for removal in
+	// the next release; no code in this module may read it (the alias
+	// audit in api_test.go fails the build on new internal uses), and the
+	// only writer is the finishResult sync that keeps external readers
+	// working through the deprecation window.
 	Deleted int
 }
 

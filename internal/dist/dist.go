@@ -89,9 +89,15 @@ type Stats struct {
 	// centralized scheduler's Stats).
 	Rounds int
 	// SuperRounds is the former name of Rounds, kept in sync for one
-	// release.
+	// final release.
 	//
-	// Deprecated: use Rounds.
+	// Deprecated: use Rounds. This alias is scheduled for removal in the
+	// next release; no code in this module may read it (the alias audit
+	// in api_test.go fails the build on new internal uses), and the only
+	// writer is the result() sync that keeps external readers working
+	// through the deprecation window. MaxSuperRounds (the config bound)
+	// is a different, non-deprecated name: a "super-round" remains the
+	// protocol's unit of progress, only the stats vocabulary is unified.
 	SuperRounds int
 	// Deletions counts nodes removed by the protocol.
 	Deletions int
@@ -432,7 +438,7 @@ func (r *runtime) mainLoop() {
 			}
 			return
 		}
-		r.stats.SuperRounds++
+		r.stats.Rounds++
 		winners, elected := r.electMIS(cands, sr)
 		if len(winners) == 0 {
 			// All candidate floods lost or withdrawn; retry with fresh
@@ -843,7 +849,7 @@ func (r *runtime) result() Result {
 			internal = append(internal, v)
 		}
 	}
-	r.stats.Rounds = r.stats.SuperRounds
+	r.stats.SuperRounds = r.stats.Rounds // deprecated alias, synced for one final release
 	r.stats.Deletions = len(r.deleted)
 	return Result{
 		Final:        final,

@@ -153,7 +153,7 @@ func TestRunCommunicationAccounting(t *testing.T) {
 	if s.Delivered < s.Broadcasts {
 		t.Fatalf("delivered %d < broadcasts %d in a dense network", s.Delivered, s.Broadcasts)
 	}
-	if s.Tests == 0 || s.SuperRounds == 0 {
+	if s.Tests == 0 || s.Rounds == 0 {
 		t.Fatalf("no work recorded: %+v", s)
 	}
 }

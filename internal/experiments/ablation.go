@@ -72,7 +72,7 @@ func AblationEngines(w io.Writer, cfg Config) (EnginesResult, error) {
 				float64(par.Stats.Tests),
 				float64(dst.Stats.Tests),
 			},
-			rounds: float64(dst.Stats.SuperRounds),
+			rounds: float64(dst.Stats.Rounds),
 			bcasts: float64(dst.Stats.Broadcasts),
 			kbytes: float64(dst.Stats.BytesSent) / 1024,
 		}, nil

@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestStreamBuilderMatchesBuilder: on random inputs — duplicate records,
+// arbitrary insertion order, isolated nodes, non-contiguous IDs — the
+// StreamBuilder must produce a Graph reflect.DeepEqual-identical to the
+// map-based Builder, so every downstream structural comparison (the shard
+// engine's byte-identity contract) holds by construction.
+func TestStreamBuilderMatchesBuilder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		b := NewBuilder()
+		sb := NewStreamBuilder(0, 0)
+		// Sparse, possibly disconnected random graph over non-contiguous IDs.
+		ids := make([]NodeID, n)
+		for i := range ids {
+			ids[i] = NodeID(i*3 + rng.Intn(2)) // collisions on purpose
+		}
+		for _, v := range ids {
+			b.AddNode(v)
+			sb.AddNode(v)
+		}
+		m := rng.Intn(3 * n)
+		for i := 0; i < m; i++ {
+			u, v := ids[rng.Intn(n)], ids[rng.Intn(n)]
+			if u == v {
+				continue
+			}
+			// Feed duplicates and both orientations.
+			b.AddEdge(u, v)
+			sb.AddEdge(v, u)
+			if rng.Intn(3) == 0 {
+				sb.AddEdge(u, v)
+			}
+		}
+		want := b.MustBuild()
+		got := sb.MustBuild()
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("trial %d: StreamBuilder graph differs from Builder graph\nwant ids=%v edges=%v\ngot  ids=%v edges=%v",
+				trial, want.Nodes(), want.Edges(), got.Nodes(), got.Edges())
+		}
+	}
+}
+
+// TestStreamBuilderEmpty: zero records must equal Builder's empty graph.
+func TestStreamBuilderEmpty(t *testing.T) {
+	want := NewBuilder().MustBuild()
+	got := NewStreamBuilder(0, 0).MustBuild()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("empty StreamBuilder graph differs from empty Builder graph")
+	}
+}
+
+// TestStreamBuilderImplicitEndpoints: AddEdge must imply its endpoints,
+// exactly like Builder.AddEdge.
+func TestStreamBuilderImplicitEndpoints(t *testing.T) {
+	b := NewBuilder()
+	b.AddEdge(5, 2)
+	sb := NewStreamBuilder(0, 1)
+	sb.AddEdge(5, 2)
+	if want, got := b.MustBuild(), sb.MustBuild(); !reflect.DeepEqual(want, got) {
+		t.Fatalf("implicit endpoints differ: want %v, got %v", want.Nodes(), got.Nodes())
+	}
+}
+
+// TestStreamBuilderSelfLoop: a recorded self-loop must surface as the same
+// Build-time error Builder reports.
+func TestStreamBuilderSelfLoop(t *testing.T) {
+	sb := NewStreamBuilder(0, 0)
+	sb.AddEdge(4, 4)
+	if _, err := sb.Build(); err == nil {
+		t.Fatal("Build accepted a self-loop")
+	}
+}
+
+// TestStreamBuilderNumRecords: the progress probe reports raw record
+// counts, duplicates included.
+func TestStreamBuilderNumRecords(t *testing.T) {
+	sb := NewStreamBuilder(0, 0)
+	sb.AddNode(1)
+	sb.AddNode(1)
+	sb.AddEdge(1, 2)
+	if n, m := sb.NumRecords(); n != 2 || m != 1 {
+		t.Fatalf("NumRecords = (%d,%d), want (2,1)", n, m)
+	}
+}

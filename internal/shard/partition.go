@@ -1,0 +1,96 @@
+package shard
+
+import (
+	"math"
+
+	"dcc/internal/geom"
+)
+
+// grid is the shard map: a gx×gy decomposition of the deployment's
+// bounding rectangle. Region s = cy·gx + cx owns every node whose
+// position falls in its cell (border positions clamp toward the last
+// cell, so ownership is total and unique), and replicates as halo every
+// node within haloR of the cell — conservatively measured per axis, so
+// the member set is a superset of the Euclidean haloR-neighbourhood.
+// Supersets keep the halo invariant sound (more replication never loses
+// a k-hop path) and the per-axis test keeps membership a pair of integer
+// ranges, which is what lets the edge streamer intersect two nodes'
+// memberships in O(1).
+type grid struct {
+	minX, minY float64
+	cw, ch     float64 // cell extents; ≤ 0 collapses the axis to one column/row
+	gx, gy     int
+	haloR      float64
+}
+
+// newGrid builds the shard map over the bounding rectangle of pts. The
+// shard count factors as gx·gy with gx the largest divisor not above
+// √shards; the wider factor goes to the wider rectangle axis so cells
+// stay near-square.
+func newGrid(pts []geom.Point, shards int, haloR float64) grid {
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	small := int(math.Sqrt(float64(shards)))
+	for shards%small != 0 {
+		small--
+	}
+	big := shards / small
+	gx, gy := big, small
+	if maxX-minX < maxY-minY {
+		gx, gy = small, big
+	}
+	return grid{
+		minX: minX, minY: minY,
+		cw: (maxX - minX) / float64(gx),
+		ch: (maxY - minY) / float64(gy),
+		gx: gx, gy: gy,
+		haloR: haloR,
+	}
+}
+
+// axisCell maps a coordinate offset to its cell index on one axis,
+// clamped into [0, cells). A non-positive extent (all points share the
+// coordinate) collapses to cell 0.
+func axisCell(off, extent float64, cells int) int {
+	if extent <= 0 {
+		return 0
+	}
+	c := int(math.Floor(off / extent))
+	if c < 0 {
+		return 0
+	}
+	if c >= cells {
+		return cells - 1
+	}
+	return c
+}
+
+// ownerOf returns the region owning position p.
+func (gr grid) ownerOf(p geom.Point) int {
+	cx := axisCell(p.X-gr.minX, gr.cw, gr.gx)
+	cy := axisCell(p.Y-gr.minY, gr.ch, gr.gy)
+	return cy*gr.gx + cx
+}
+
+// memberRange returns the inclusive cell ranges [x0,x1]×[y0,y1] of the
+// regions p is a member of: every cell within haloR of p on both axes.
+// The owner cell is always inside the range.
+func (gr grid) memberRange(p geom.Point) (x0, x1, y0, y1 int) {
+	if gr.cw <= 0 {
+		x0, x1 = 0, gr.gx-1
+	} else {
+		x0 = axisCell(p.X-gr.minX-gr.haloR, gr.cw, gr.gx)
+		x1 = axisCell(p.X-gr.minX+gr.haloR, gr.cw, gr.gx)
+	}
+	if gr.ch <= 0 {
+		y0, y1 = 0, gr.gy-1
+	} else {
+		y0 = axisCell(p.Y-gr.minY-gr.haloR, gr.ch, gr.gy)
+		y1 = axisCell(p.Y-gr.minY+gr.haloR, gr.ch, gr.gy)
+	}
+	return x0, x1, y0, y1
+}

@@ -17,6 +17,12 @@
 #                             p50/p99 per-event update latency (stepped,
 #                             with re-election), against the from-scratch
 #                             canonical-schedule cost per poll
+#   BENCH_sharded.json      — the spatial-shard-engine record: end-to-end
+#                             wall-clock over an n × shard-count grid
+#                             (min-of-reps per point) plus one headline
+#                             deployment at SHARD_NODES interior nodes
+#                             (default 100000; SHARD_NODES=1000000 for the
+#                             full million-node run)
 #
 # Output is byte-identical across worker counts (the engine's determinism
 # contract; see DESIGN.md §9) — only wall-clock changes. Usage:
@@ -132,7 +138,45 @@ cat > BENCH_stream.json <<EOF
 EOF
 echo "== wrote BENCH_stream.json"
 
-# Merge the three per-figure records into one schema-versioned artifact
+echo "== bench: spatial shard engine, SHARD_NODES=${SHARD_NODES:-100000}"
+SHARD_NODES=${SHARD_NODES:-100000}
+SHARD_OUT=$(/tmp/dccsim.bench -fig sharded -runs 2 -nodes "$NODES" \
+    -shardnodes "$SHARD_NODES" -workers "$WORKERS")
+# Each [shard-bench] line is one curve point; the [shard-headline] line is
+# the scale demonstration. Both are k=v word lists — turn them into JSON.
+shard_json() {
+    printf '%s\n' "$SHARD_OUT" | awk -v tag="$1" '
+        index($0, tag) {
+            sep = ""
+            printf "      { "
+            for (i = 1; i <= NF; i++) {
+                if (split($i, kv, "=") != 2) continue
+                printf "%s\"%s\": %s", sep, kv[1], kv[2]
+                sep = ", "
+            }
+            printf " }%s\n", (tag == "[shard-bench]" ? "," : "")
+        }' | sed '$ s/,$//'
+}
+CURVE=$(shard_json "[shard-bench]")
+HEADLINE=$(shard_json "[shard-headline]")
+HEAD_SEC=$(printf '%s\n' "$SHARD_OUT" | awk '/\[shard-headline\]/ { for (i=1;i<=NF;i++) if (split($i,kv,"=")==2 && kv[1]=="seconds") print kv[2] }')
+echo "   headline:         ${HEAD_SEC}s end-to-end"
+cat > BENCH_sharded.json <<EOF
+{
+  "bench": "sharded-scaling",
+  "cpus": $CPUS,
+  "reps": 2,
+  "tau": 4,
+  "curve": [
+$CURVE
+  ],
+  "headline":
+$HEADLINE
+}
+EOF
+echo "== wrote BENCH_sharded.json"
+
+# Merge the per-figure records into one schema-versioned artifact
 # with run metadata (the file dashboards should consume; the per-figure
 # files stay for diffing). No jq on the build image, so the embed is
 # plain concatenation — each BENCH_*.json is already one JSON object.
@@ -153,6 +197,8 @@ STAMP=$(date -u +%Y-%m-%dT%H:%M:%SZ)
     cat BENCH_incremental.json
     printf ',\n    "stream": '
     cat BENCH_stream.json
+    printf ',\n    "sharded": '
+    cat BENCH_sharded.json
     printf '  }\n}\n'
 } > BENCH_all.json
 echo "== wrote BENCH_all.json"

@@ -83,6 +83,14 @@ echo '== chaos smoke (race + deep assertions)'
 # plain gate above covers. -short trims the matrix to a smoke-sized slice.
 go test -short -race -tags dccdebug -run '^TestChaosMatrix$' ./internal/dist
 
+echo '== sharded equivalence smoke (race)'
+# The spatial shard engine's byte-identity contract under the race
+# detector: coordinator, halo-delta exchange and verdict waves across
+# several shard × worker counts must reproduce the unsharded canonical
+# engine exactly. -short trims the sweep to a smoke-sized slice.
+go test -short -race -run '^TestScheduleMatchesCanonical$' ./internal/shard
+go test -short -race -run '^TestShardCountEquivalence$' .
+
 echo '== streaming chaos smoke (race + deep assertions)'
 # The event-stream chaos harness: crash-restart at seeded WAL offsets with
 # producer redelivery, torn snapshots, and the WAL mutation matrix, with
